@@ -1,0 +1,39 @@
+"""Ablation: EOS threshold selection rule (Section 4.6).
+
+"segments less than 4 blocks must be avoided ... with 4-block segments,
+better storage utilization and read performance comes for free."
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import MEAN_OP_SIZES
+from repro.experiments.random_ops import run_random_ops
+
+
+def run_ablation(scale):
+    rows = []
+    for threshold in (1, 2, 4, 8, 16):
+        result = run_random_ops("eos", threshold, MEAN_OP_SIZES[1], scale)
+        rows.append(
+            (
+                threshold,
+                result.utilizations()[-1],
+                result.steady_read_ms(),
+                result.steady_insert_ms(),
+            )
+        )
+    return rows
+
+
+def test_ablation_eos_threshold(benchmark, scale, report):
+    rows = benchmark.pedantic(run_ablation, args=(scale,), rounds=1,
+                              iterations=1)
+    report(
+        "Ablation: EOS threshold sweep (10 KB ops)\n"
+        + format_table(("T", "utilization", "read ms", "insert ms"), rows)
+    )
+    by_t = {row[0]: row for row in rows}
+    # T=4 improves utilization and reads over T=1 without a significant
+    # increase in maintenance cost ("comes for free").
+    assert by_t[4][1] >= by_t[1][1]
+    assert by_t[4][2] <= by_t[1][2] * 1.05
+    assert by_t[4][3] <= by_t[1][3] * 1.6

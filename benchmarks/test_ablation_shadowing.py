@@ -1,0 +1,50 @@
+"""Ablation: the cost of segment-granularity shadowing (Section 3.3).
+
+Reproduces the paper's motivating example: without shadowing, updating a
+page inside a 2-block segment costs the same as inside a 64-block
+segment; with shadowing the latter is approximately 6-7x more costly.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.api import LargeObjectStore
+from repro.core.config import PAPER_CONFIG
+
+
+def update_cost_ms(segment_pages, shadowing):
+    store = LargeObjectStore(
+        "eos",
+        PAPER_CONFIG,
+        threshold_pages=segment_pages,
+        record_data=False,
+        shadowing=shadowing,
+    )
+    oid = store.create(bytes(segment_pages * PAPER_CONFIG.page_size))
+    store.manager.trim(oid)
+    before = store.snapshot()
+    store.replace(oid, 10, b"y" * 100)
+    return store.elapsed_ms(before)
+
+
+def run_ablation():
+    rows = []
+    for pages in (2, 8, 64):
+        with_shadow = update_cost_ms(pages, True)
+        without = update_cost_ms(pages, False)
+        rows.append((f"{pages}-block segment", f"{with_shadow:.0f}",
+                     f"{without:.0f}"))
+    return rows
+
+
+def test_ablation_shadowing(benchmark, report):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report(
+        "Ablation: 1-page update cost with/without shadowing\n"
+        + format_table(("segment", "shadowing (ms)", "no shadowing (ms)"),
+                       rows)
+    )
+    small_with = float(rows[0][1])
+    large_with = float(rows[2][1])
+    small_without = float(rows[0][2])
+    large_without = float(rows[2][2])
+    assert abs(large_without - small_without) <= 0.1 * small_without
+    assert 4.0 < large_with / small_with < 10.0

@@ -1,0 +1,60 @@
+"""Baseline: block-based vs. segment-based storage (Section 1).
+
+The paper's intro dismisses block-based schemes because "sequential reads
+will be slow because virtually every disk page fetch will most likely
+result in a disk seek".  This benchmark measures that claim: a full
+sequential scan of the same object under the block-based baseline and
+under each of the paper's three segment-based schemes.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.api import LargeObjectStore
+from repro.core.config import PAPER_CONFIG
+
+KB = 1024
+
+
+def scan_seconds(scheme, object_bytes, chunk=256 * KB):
+    store = LargeObjectStore(scheme, PAPER_CONFIG, record_data=False,
+                             leaf_pages=16, threshold_pages=16)
+    oid = store.create()
+    piece = bytes(64 * KB)
+    done = 0
+    while done < object_bytes:
+        take = min(len(piece), object_bytes - done)
+        store.append(oid, piece[:take])
+        done += take
+    trim = getattr(store.manager, "trim", None)
+    if trim is not None:
+        trim(oid)
+    before = store.snapshot()
+    position = 0
+    size = store.size(oid)
+    while position < size:
+        store.read(oid, position, min(chunk, size - position))
+        position += chunk
+    return store.elapsed_ms(before) / 1000.0
+
+
+def run_baseline(scale):
+    object_bytes = scale.object_bytes
+    rows = [
+        (scheme, scan_seconds(scheme, object_bytes))
+        for scheme in ("blockbased", "esm", "starburst", "eos")
+    ]
+    return rows
+
+
+def test_baseline_blockbased_scan(benchmark, scale, report):
+    rows = benchmark.pedantic(run_baseline, args=(scale,), rounds=1,
+                              iterations=1)
+    report(
+        "Baseline: full sequential scan, block-based vs segment-based "
+        "(seconds)\n" + format_table(("scheme", "seconds"), rows)
+    )
+    costs = dict(rows)
+    # The intro's claim, quantified: one seek per page makes the
+    # block-based scan several times slower than any segment scheme.
+    assert costs["blockbased"] > 3 * costs["starburst"]
+    assert costs["blockbased"] > 3 * costs["eos"]
+    assert costs["blockbased"] > costs["esm"]

@@ -1,0 +1,20 @@
+"""Object-size scaling claims (§4.2, §4.4.3 extrapolations)."""
+
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+def test_scaling_with_object_size(benchmark, scale, report):
+    def run():
+        return [run_scaling(s, scale) for s in ("esm", "starburst", "eos")]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_scaling(results))
+    by_scheme = {result.scheme: result for result in results}
+    # Build time grows linearly for every scheme.
+    for result in results:
+        assert 0.8 < result.build_exponent < 1.2
+    # ESM/EOS insert cost is independent of object size; Starburst's
+    # grows with it (toward linear at large sizes).
+    assert abs(by_scheme["esm"].insert_exponent) < 0.3
+    assert abs(by_scheme["eos"].insert_exponent) < 0.3
+    assert by_scheme["starburst"].insert_exponent > 0.4

@@ -1,0 +1,24 @@
+"""Section 4.6 cross-scheme summary (with the block-based baseline)."""
+
+from repro.experiments.common import KB
+from repro.experiments.summary import format_summary, run_summary
+
+
+def test_section_4_6_summary(benchmark, scale, report):
+    mean_op = 10 * KB
+    rows = benchmark.pedantic(
+        run_summary, args=(mean_op, scale), rounds=1, iterations=1
+    )
+    report(format_summary(rows, mean_op))
+    by_label = {row.label.split(" ")[0]: row for row in rows}
+    starburst = by_label["Starburst"]
+    eos = by_label["EOS"]
+    esm = by_label["ESM"]
+    blockbased = by_label["block-based"]
+    # Starburst: best utilization, dreadful updates.
+    assert starburst.utilization >= max(eos.utilization, esm.utilization)
+    assert starburst.insert_ms > 2 * eos.insert_ms
+    # EOS updates are the cheapest of the segment schemes.
+    assert eos.insert_ms <= esm.insert_ms * 1.1
+    # The block-based baseline scans far slower than any segment scheme.
+    assert blockbased.scan_s > 3 * min(eos.scan_s, starburst.scan_s)

@@ -1,0 +1,10 @@
+"""Table 1: fixed system parameters."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_parameters(benchmark, report):
+    out = benchmark.pedantic(table1, rounds=1, iterations=1)
+    report(out)
+    assert "4K-byte" in out
+    assert "12 pages" in out

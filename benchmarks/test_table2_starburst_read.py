@@ -1,0 +1,14 @@
+"""Table 2: Starburst read I/O cost (paper: 37 / 54 / 201 ms)."""
+
+from repro.experiments.tables import run_starburst_costs
+
+
+def test_table2_starburst_read(benchmark, scale, report):
+    costs = benchmark.pedantic(
+        run_starburst_costs, args=(scale,), rounds=1, iterations=1
+    )
+    report(costs.format_table2())
+    # Shape: read cost grows with operation size, and a 100-byte read
+    # costs about one seek + one page transfer.
+    assert costs.read_ms[0] <= 41.0
+    assert costs.read_ms[0] < costs.read_ms[1] < costs.read_ms[2]

@@ -1,0 +1,16 @@
+"""Table 3: Starburst insert/delete I/O cost (paper: 22.3 s at 10 MB,
+independent of the operation size)."""
+
+from repro.experiments.tables import run_starburst_costs
+
+
+def test_table3_starburst_update(benchmark, scale, report):
+    costs = benchmark.pedantic(
+        run_starburst_costs, args=(scale,), rounds=1, iterations=1
+    )
+    report(costs.format_table3())
+    # Shape: roughly constant across operation sizes (tail-copy bound),
+    # and orders of magnitude above millisecond-scale ESM/EOS updates.
+    assert max(costs.insert_s) < 4 * min(costs.insert_s)
+    assert min(costs.insert_s) > 0.1
+    assert max(costs.delete_s) < 4 * min(costs.delete_s)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Document editing: length-changing updates on a large text object.
+
+The paper's second motivating workload: a long document (or a long list
+stored as a large object) whose elements are inserted and deleted at
+arbitrary positions.  This is exactly the operation class on which the
+three schemes diverge most sharply (Sections 4.4.3 and 4.6):
+
+* Starburst copies the document's tail on every edit;
+* ESM handles edits locally but trades utilization against read speed
+  through its fixed leaf size;
+* EOS handles edits locally *and* keeps near-perfect utilization with a
+  well-chosen threshold.
+
+The example simulates an editing session — a mix of paragraph inserts,
+deletions, and in-place corrections — with real bytes, verifying the
+document content against a plain Python model while accounting costs.
+
+Run:  python examples/document_editor.py
+"""
+
+import random
+
+from repro import LargeObjectStore
+from repro.analysis.report import format_table
+
+KB = 1024
+
+PARAGRAPH = (
+    b"It is a truth universally acknowledged, that a single fortune "
+    b"in possession of a good man must be in want of a database.\n"
+)
+
+
+def editing_session(store, n_edits=120, seed=92):
+    """Run an editing session; returns (ms per edit kind, final size)."""
+    rng = random.Random(seed)
+    document = bytearray(PARAGRAPH * 400)  # ~50 KB starting document
+    oid = store.create(bytes(document))
+    costs = {"insert": 0.0, "delete": 0.0, "correct": 0.0}
+    counts = {"insert": 0, "delete": 0, "correct": 0}
+    for _ in range(n_edits):
+        kind = rng.choice(["insert", "delete", "correct"])
+        before = store.snapshot()
+        if kind == "insert":
+            at = rng.randint(0, len(document))
+            store.insert(oid, at, PARAGRAPH)
+            document[at:at] = PARAGRAPH
+        elif kind == "delete" and len(document) > len(PARAGRAPH):
+            at = rng.randint(0, len(document) - len(PARAGRAPH))
+            store.delete(oid, at, len(PARAGRAPH))
+            del document[at : at + len(PARAGRAPH)]
+        else:
+            at = rng.randint(0, max(0, len(document) - 20))
+            store.replace(oid, at, b"[sic] corrected here")
+            document[at : at + 20] = b"[sic] corrected here"
+        costs[kind] += store.elapsed_ms(before)
+        counts[kind] += 1
+
+    # The document must read back exactly as the model says.
+    assert store.read(oid, 0, len(document)) == bytes(document)
+    avg = {
+        kind: costs[kind] / counts[kind] if counts[kind] else 0.0
+        for kind in costs
+    }
+    return avg, store.utilization(oid)
+
+
+def main() -> None:
+    setups = [
+        ("ESM, 1-page leaves", "esm", {"leaf_pages": 1}),
+        ("ESM, 16-page leaves", "esm", {"leaf_pages": 16}),
+        ("Starburst", "starburst", {}),
+        ("EOS, T=4", "eos", {"threshold_pages": 4}),
+    ]
+    rows = []
+    for label, scheme, options in setups:
+        store = LargeObjectStore(scheme, **options)
+        avg, utilization = editing_session(store)
+        rows.append(
+            (
+                label,
+                f"{avg['insert']:.0f}",
+                f"{avg['delete']:.0f}",
+                f"{avg['correct']:.0f}",
+                f"{utilization:.1%}",
+            )
+        )
+    print("Editing a ~50 KB document (average simulated ms per edit):\n")
+    print(
+        format_table(
+            ("scheme", "insert", "delete", "correct", "utilization"), rows
+        )
+    )
+    print(
+        "\nEvery scheme produced a byte-identical document; they differ "
+        "only\nin what the edits cost and how much disk the document "
+        "occupies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Multimedia playback: sequential scans of a large read-mostly object.
+
+The paper's motivating example for Starburst-style storage: "think of
+playing digital sound recordings, frame-to-frame accessing of a movie".
+This example stores a simulated video object (frames appended one by one,
+as a capture pipeline would), then "plays" it back frame by frame and at
+several prefetch sizes, comparing the three schemes.
+
+Starburst and EOS, with their large contiguous segments, approach the
+disk's transfer rate; ESM's fixed-size leaves pay one seek per leaf, so
+small leaves are dramatically slower — exactly Figure 6 of the paper.
+
+Run:  python examples/multimedia_scan.py
+"""
+
+from repro import LargeObjectStore
+from repro.analysis.report import format_table
+
+KB = 1024
+MB = 1024 * KB
+
+#: A 2 MB "video": 64 frames of 32 KB each (frame = unit of capture).
+FRAME_BYTES = 32 * KB
+FRAME_COUNT = 64
+
+
+def build_video(store):
+    """Append frames one by one, then trim the final segment."""
+    oid = store.create()
+    frame = bytes(FRAME_BYTES)
+    for _ in range(FRAME_COUNT):
+        store.append(oid, frame)
+    trim = getattr(store.manager, "trim", None)
+    if trim is not None:
+        trim(oid)  # "the last segment is trimmed"
+    return oid
+
+
+def playback_seconds(store, oid, chunk_bytes):
+    """Simulated seconds to scan the whole object in chunk-size reads."""
+    before = store.snapshot()
+    position = 0
+    size = store.size(oid)
+    while position < size:
+        take = min(chunk_bytes, size - position)
+        store.read(oid, position, take)
+        position += take
+    return store.elapsed_ms(before) / 1000.0
+
+
+def main() -> None:
+    print(f"Simulated video: {FRAME_COUNT} frames x {FRAME_BYTES // KB} KB "
+          f"= {FRAME_COUNT * FRAME_BYTES / MB:.0f} MB")
+    transfer_bound = FRAME_COUNT * FRAME_BYTES / KB / 1000.0
+    print(f"Transfer-rate lower bound: {transfer_bound:.1f} s "
+          "(1 KB/ms, no seeks)\n")
+
+    setups = [
+        ("ESM, 1-page leaves", "esm", {"leaf_pages": 1}),
+        ("ESM, 16-page leaves", "esm", {"leaf_pages": 16}),
+        ("Starburst", "starburst", {}),
+        ("EOS, T=16", "eos", {"threshold_pages": 16}),
+    ]
+    chunk_sizes = [4 * KB, FRAME_BYTES, 8 * FRAME_BYTES]
+    rows = []
+    for label, scheme, options in setups:
+        store = LargeObjectStore(scheme, record_data=False, **options)
+        oid = build_video(store)
+        row = [label]
+        for chunk in chunk_sizes:
+            row.append(f"{playback_seconds(store, oid, chunk):.2f}")
+        rows.append(row)
+
+    headers = ["scheme"] + [
+        f"scan {chunk // KB} KB (s)" for chunk in chunk_sizes
+    ]
+    print(format_table(headers, rows))
+    print(
+        "\nLarger scan chunks amortize seeks; segment-based schemes with\n"
+        "large segments (Starburst/EOS, big ESM leaves) approach the\n"
+        "transfer bound while 1-page ESM leaves seek on every page."
+    )
+
+
+if __name__ == "__main__":
+    main()

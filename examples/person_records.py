@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The paper's Section 2 example: person records with long fields.
+
+    "a person object with attributes name, picture, and voice ... can be
+     mapped to a small database object that contains the short field name
+     and two long field descriptors corresponding to long fields picture
+     and voice"
+
+This example builds a small person database on slotted record pages, with
+the picture and voice attributes stored as long fields under a chosen
+large-object mechanism, and shows the point of the mapping: each long
+field is manipulated independently, with byte-range operations, without
+touching the rest of the record.
+
+Run:  python examples/person_records.py [esm|starburst|eos|blockbased]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.api import make_manager
+from repro.core.env import StorageEnvironment
+from repro.records import RecordStore, Schema
+
+KB = 1024
+
+
+def synth_image(person_id: int, nbytes: int) -> bytes:
+    """Deterministic stand-in for picture bytes."""
+    return bytes((person_id * 31 + i) % 251 for i in range(nbytes))
+
+
+def synth_audio(person_id: int, nbytes: int) -> bytes:
+    """Deterministic stand-in for voice-recording bytes."""
+    return bytes((person_id * 17 + i * 3) % 251 for i in range(nbytes))
+
+
+def main() -> None:
+    scheme = sys.argv[1] if len(sys.argv) > 1 else "eos"
+    env = StorageEnvironment()
+    manager = make_manager(scheme, env, leaf_pages=4, threshold_pages=4)
+    schema = Schema.of(name="text", age="int", picture="long", voice="long")
+    people = RecordStore(schema, manager)
+
+    print(f"Person database over the {scheme.upper()} large-object "
+          "mechanism\n")
+
+    # Insert a few people; pictures and voices are sizeable blobs.
+    rids = {}
+    for person_id, (name, age) in enumerate(
+        [("Ada", 36), ("Edgar", 61), ("Grace", 85)]
+    ):
+        rids[name] = people.insert(
+            name=name,
+            age=age,
+            picture=synth_image(person_id, 48 * KB),
+            voice=synth_audio(person_id, 96 * KB),
+        )
+
+    rows = []
+    for rid, record in people.scan():
+        rows.append(
+            (
+                record["name"],
+                record["age"],
+                f"{people.long_size(rid, 'picture') // KB} KB",
+                f"{people.long_size(rid, 'voice') // KB} KB",
+                f"{people.long_utilization(rid, 'voice'):.1%}",
+            )
+        )
+    print(format_table(
+        ("name", "age", "picture", "voice", "voice util"), rows
+    ))
+
+    # Byte-range operations on one long field leave the others untouched.
+    ada = rids["Ada"]
+    print("\nEditing Ada's voice recording only:")
+    before = env.snapshot()
+    people.insert_long(ada, "voice", 10 * KB, synth_audio(9, 4 * KB))
+    people.delete_long(ada, "voice", 50 * KB, 8 * KB)
+    people.replace_long(ada, "voice", 0, b"RIFF")  # fix the header, say
+    print(f"  3 edits cost {env.elapsed_ms_since(before):.0f} ms of "
+          "simulated I/O")
+    assert people.read_long(ada, "picture", 0, 16) == synth_image(0, 16)
+    print("  picture attribute verified untouched")
+
+    # Short-field updates never touch the long fields at all.
+    people.update(ada, age=37)
+    print(f"  after birthday: {people.get(ada)['name']} is "
+          f"{people.get(ada)['age']}")
+
+    # Deleting the record reclaims the blobs.
+    pages_before = env.areas.data.allocated_pages
+    people.delete(rids["Edgar"])
+    print(f"\nDeleted Edgar: {pages_before - env.areas.data.allocated_pages}"
+          " data pages reclaimed")
+    print(f"Total simulated I/O: {env.cost.stats.io_calls} calls, "
+          f"{env.cost.stats.elapsed_ms(env.config) / 1000:.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: the byte-range interface of the three storage schemes.
+
+Creates a large object under each of the paper's mechanisms — EXODUS
+(ESM), Starburst, and EOS — and exercises the full byte-range interface:
+append, random read, insert, delete, and replace.  Along the way it
+prints the simulated I/O cost of each operation under the paper's cost
+model (33 ms seek + 1 KB/ms transfer), which is the quantity the paper's
+experiments measure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SCHEMES, LargeObjectStore
+
+KB = 1024
+
+
+def timed(store, label, fn):
+    """Run an operation and report its simulated I/O cost."""
+    before = store.snapshot()
+    result = fn()
+    cost = store.elapsed_ms(before)
+    print(f"  {label:<38} {cost:8.1f} ms simulated I/O")
+    return result
+
+
+def demo(scheme: str) -> None:
+    print(f"\n=== {scheme.upper()} ===")
+    # leaf_pages applies to ESM, threshold_pages to EOS; the other
+    # schemes simply ignore the irrelevant knob.
+    store = LargeObjectStore(scheme, leaf_pages=4, threshold_pages=4)
+
+    # Build a ~1 MB object by successive appends, the way very large
+    # objects are created in practice (Section 1).
+    oid = store.create()
+    chunk = b"The quick brown fox jumps over the lazy dog. " * 100
+    timed(
+        store,
+        f"append {len(chunk)} bytes x 230",
+        lambda: [store.append(oid, chunk) for _ in range(230)],
+    )
+    print(f"  object size: {store.size(oid):,} bytes, "
+          f"utilization {store.utilization(oid):.1%}")
+
+    # Random byte-range read.
+    data = timed(store, "read 10 KB at offset 500,000",
+                 lambda: store.read(oid, 500_000, 10 * KB))
+    assert data == (chunk * 230)[500_000 : 500_000 + 10 * KB]
+
+    # Length-changing updates at arbitrary positions.
+    timed(store, "insert 1 KB at offset 123,456",
+          lambda: store.insert(oid, 123_456, b"#" * KB))
+    timed(store, "delete 2 KB at offset 42",
+          lambda: store.delete(oid, 42, 2 * KB))
+    timed(store, "replace 512 bytes at offset 9,000",
+          lambda: store.replace(oid, 9_000, b"!" * 512))
+
+    assert store.read(oid, 123_456 - 2 * KB, KB) == b"#" * KB
+    print(f"  final size: {store.size(oid):,} bytes, "
+          f"utilization {store.utilization(oid):.1%}")
+    print(f"  lifetime I/O: {store.stats.io_calls} calls, "
+          f"{store.stats.pages_transferred} pages, "
+          f"{store.elapsed_ms() / 1000:.2f} s simulated")
+
+    store.destroy(oid)
+
+
+def main() -> None:
+    print("Large-object storage quickstart "
+          "(Biliris, SIGMOD 1992 reproduction)")
+    for scheme in SCHEMES:
+        demo(scheme)
+    print("\nNote how Starburst's insert/delete costs dwarf the other "
+          "two:\nits descriptor forces the object's tail to be copied on "
+          "every\nlength-changing update (paper Section 4.4.3).")
+
+
+if __name__ == "__main__":
+    main()

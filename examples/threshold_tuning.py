@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Choosing the EOS segment size threshold (paper Section 4.6).
+
+The paper closes with a concrete tuning recipe for EOS:
+
+1. avoid thresholds below 4 blocks — "with 4-block segments, better
+   storage utilization and read performance comes for free";
+2. for often-updated objects, set T "somewhat larger than the size of
+   the search operations expected" on the object;
+3. for read-mostly objects, the larger the threshold the better.
+
+This example sweeps T for a given expected operation size and prints the
+resulting utilization / read / update costs, ending with the rule-of-
+thumb recommendation.
+
+Run:  python examples/threshold_tuning.py [expected_read_kb]
+"""
+
+import sys
+
+from repro import LargeObjectStore
+from repro.analysis.report import format_table
+from repro.core.tuning import recommend_eos_threshold_pages
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadRunner
+
+KB = 1024
+MB = 1024 * KB
+OBJECT_BYTES = 2 * MB
+N_OPS = 600
+
+
+def measure(threshold_pages, mean_op_bytes):
+    store = LargeObjectStore(
+        "eos", threshold_pages=threshold_pages, record_data=False
+    )
+    oid = store.create()
+    chunk = bytes(64 * KB)
+    for _ in range(OBJECT_BYTES // len(chunk)):
+        store.append(oid, chunk)
+    store.manager.trim(oid)
+    generator = WorkloadGenerator(store.size(oid), mean_op_bytes, seed=46)
+    runner = WorkloadRunner(store.manager, oid, generator)
+    windows = runner.run(N_OPS, window=N_OPS // 3)
+    steady = windows[-1]
+    return {
+        "utilization": store.utilization(oid),
+        "read_ms": steady.avg_read_ms,
+        "insert_ms": steady.avg_insert_ms,
+        "delete_ms": steady.avg_delete_ms,
+    }
+
+
+def main() -> None:
+    expected_read_kb = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    mean_op = expected_read_kb * KB
+    print(
+        f"EOS threshold sweep: 2 MB object, {expected_read_kb} KB mean "
+        f"operations, 40/30/30 read/insert/delete mix\n"
+    )
+    rows = []
+    results = {}
+    for threshold in (1, 2, 4, 8, 16, 32, 64):
+        result = measure(threshold, mean_op)
+        results[threshold] = result
+        rows.append(
+            (
+                threshold,
+                f"{result['utilization']:.1%}",
+                f"{result['read_ms']:.0f}",
+                f"{result['insert_ms']:.0f}",
+                f"{result['delete_ms']:.0f}",
+            )
+        )
+    print(
+        format_table(
+            ("T (pages)", "utilization", "read ms", "insert ms",
+             "delete ms"),
+            rows,
+        )
+    )
+    # The paper's recipe: at least 4, and somewhat larger than the
+    # expected search size for often-updated objects.
+    recommended = recommend_eos_threshold_pages(expected_read_kb * KB)
+    print(
+        f"\nPaper's rule of thumb for {expected_read_kb} KB operations on "
+        f"an often-updated object:\n  T >= 4 always, and somewhat larger "
+        f"than the {expected_read_kb} KB search size\n  -> recommended "
+        f"T = {recommended} pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

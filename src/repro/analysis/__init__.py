@@ -1,0 +1,5 @@
+"""Result formatting and analysis helpers."""
+
+from repro.analysis.report import format_series, format_table
+
+__all__ = ["format_series", "format_table"]

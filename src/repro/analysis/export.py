@@ -1,0 +1,62 @@
+"""CSV export of experiment series, for external plotting tools.
+
+Every figure experiment produces (x values, named series); these helpers
+write them in the plainest possible CSV so gnuplot/matplotlib/spreadsheet
+users can re-draw the paper's figures from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Mapping, Sequence
+
+
+def series_to_csv(
+    x_header: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Render x values and named series as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([x_header, *series.keys()])
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_series_csv(
+    path: str,
+    x_header: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Write a series CSV file; returns the path written."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="ascii", newline="") as handle:
+        handle.write(series_to_csv(x_header, xs, series))
+    return path
+
+
+def read_series_csv(
+    path: str,
+) -> tuple[str, list[str], dict[str, list[float]]]:
+    """Read a series CSV back: (x header, x values, series)."""
+    with open(path, "r", encoding="ascii", newline="") as handle:
+        rows = list(csv.reader(handle))
+    header, *body = rows
+    x_header = header[0]
+    xs = [row[0] for row in body]
+    series: dict[str, list[float]] = {name: [] for name in header[1:]}
+    for row in body:
+        for name, value in zip(header[1:], row[1:]):
+            if value != "":
+                series[name].append(float(value))
+    return x_header, xs, series

@@ -1,0 +1,56 @@
+"""Plain-text formatting of experiment results (tables and figure series).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        for row in materialized
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def format_series(
+    x_header: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render one figure's data: x values in the first column, one column
+    per named series — the textual equivalent of the paper's graphs."""
+    headers = [x_header, *series.keys()]
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

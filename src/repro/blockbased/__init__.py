@@ -1,0 +1,9 @@
+"""Block-based large-object storage: the baseline class of Section 1."""
+
+from repro.blockbased.manager import (
+    BlockBasedManager,
+    BlockBasedOptions,
+    DataPage,
+)
+
+__all__ = ["BlockBasedManager", "BlockBasedOptions", "DataPage"]

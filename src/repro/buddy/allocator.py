@@ -1,0 +1,188 @@
+"""Disk space allocation for one database area (Section 3.1).
+
+A database area consists of a number of *buddy spaces*.  Each buddy space
+is a fixed-length sequence of physically adjacent blocks plus a one-block
+directory holding allocation information for all blocks in the space.
+Segments are always allocated within a single buddy space, so their pages
+are physically adjacent.
+
+A main-memory *superdirectory* records, per buddy space, the size (order)
+of the largest free segment believed to be available there.  It starts
+optimistic — every space is assumed to hold a maximal free segment — and
+is corrected as directories are actually visited, so that on steady state
+an allocation or deallocation touches at most one directory block.
+
+Directory blocks are accessed through the buffer pool, so repeated
+allocations from the same space usually hit in the pool; directory page
+content is produced lazily (only when the page is actually written back).
+"""
+
+from __future__ import annotations
+
+from repro.buddy.directory import check_directory_fits, serialize_directory
+from repro.buddy.space import BuddySpace, ceil_log2
+from repro.buffer.pool import BufferPool
+from repro.core.config import SystemConfig
+from repro.core.errors import AllocationError, OutOfSpaceError
+
+
+class BuddyAllocator:
+    """Buddy-system space manager for one database area."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pool: BufferPool,
+        base_page_id: int,
+        name: str = "area",
+    ) -> None:
+        check_directory_fits(config)
+        self.config = config
+        self.pool = pool
+        self.base_page_id = base_page_id
+        self.name = name
+        self._spaces: list[BuddySpace] = []
+        #: Superdirectory: believed order of the largest free extent per space.
+        self._superdirectory: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def _stride(self) -> int:
+        return 1 + self.config.buddy_space_blocks
+
+    def _directory_page(self, space_index: int) -> int:
+        return self.base_page_id + space_index * self._stride
+
+    def _data_base(self, space_index: int) -> int:
+        return self._directory_page(space_index) + 1
+
+    def _locate(self, page_id: int) -> tuple[int, int]:
+        """Map a global page id to (space index, block offset in space)."""
+        relative = page_id - self.base_page_id
+        if relative < 0:
+            raise AllocationError(f"page {page_id} is not in area {self.name!r}")
+        space_index, within = divmod(relative, self._stride)
+        if space_index >= len(self._spaces) or within == 0:
+            raise AllocationError(
+                f"page {page_id} is not a data page of area {self.name!r}"
+            )
+        return space_index, within - 1
+
+    # ------------------------------------------------------------------
+    # Allocation interface
+    # ------------------------------------------------------------------
+    def allocate(self, n_pages: int) -> int:
+        """Allocate a segment of ``n_pages`` physically adjacent pages.
+
+        Returns the global page id of the segment's first page.  The area
+        grows by a new buddy space when no existing space can satisfy the
+        request.
+        """
+        if n_pages <= 0:
+            raise AllocationError("segment size must be positive")
+        if n_pages > self.config.max_segment_pages:
+            raise AllocationError(
+                f"segment of {n_pages} pages exceeds the maximum of "
+                f"{self.config.max_segment_pages} pages"
+            )
+        needed_order = ceil_log2(n_pages)
+        for index in range(len(self._spaces)):
+            if self._superdirectory[index] < needed_order:
+                continue
+            offset = self._try_allocate_in_space(index, n_pages, needed_order)
+            if offset is not None:
+                return self._data_base(index) + offset
+        index = self._add_space()
+        offset = self._try_allocate_in_space(index, n_pages, needed_order)
+        if offset is None:  # pragma: no cover - a fresh space always fits
+            raise OutOfSpaceError("freshly created buddy space cannot fit segment")
+        return self._data_base(index) + offset
+
+    def free(self, page_id: int, n_pages: int) -> None:
+        """Free ``n_pages`` pages starting at ``page_id``.
+
+        Any sub-range of previous allocations may be freed (partial free).
+        Resident copies of the freed pages are invalidated and their
+        content discarded.
+        """
+        if n_pages <= 0:
+            raise AllocationError("free size must be positive")
+        space_index, offset = self._locate(page_id)
+        space = self._spaces[space_index]
+        if offset + n_pages > space.total_blocks:
+            raise AllocationError("free range crosses a buddy space boundary")
+        self.pool.invalidate_run(page_id, n_pages)
+        self.pool.disk.discard_pages(page_id, n_pages)
+        self._visit_directory(space_index, mutate=lambda: space.free_range(offset, n_pages))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def allocated_pages(self) -> int:
+        """Data pages currently allocated across all buddy spaces."""
+        return sum(space.allocated_blocks for space in self._spaces)
+
+    @property
+    def directory_pages(self) -> int:
+        """Number of directory pages (one per buddy space)."""
+        return len(self._spaces)
+
+    @property
+    def space_count(self) -> int:
+        """Number of buddy spaces in the area."""
+        return len(self._spaces)
+
+    def superdirectory_entry(self, space_index: int) -> int:
+        """Believed max-free order for the space (for tests/inspection)."""
+        return self._superdirectory[space_index]
+
+    def check_invariants(self) -> None:
+        """Verify every buddy space's internal consistency."""
+        for space in self._spaces:
+            space.check_invariants()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_allocate_in_space(
+        self, index: int, n_pages: int, needed_order: int
+    ) -> int | None:
+        """Visit a space's directory and try to allocate there."""
+        space = self._spaces[index]
+        result: list[int] = []
+
+        def mutate() -> None:
+            if space.max_free_order() >= needed_order:
+                result.append(space.allocate(n_pages))
+
+        self._visit_directory(index, mutate=mutate)
+        return result[0] if result else None
+
+    def _visit_directory(self, space_index: int, mutate) -> None:
+        """Fix the directory page, apply a mutation, correct the
+        superdirectory, and unfix (dirty if the mutation changed state)."""
+        space = self._spaces[space_index]
+        page_id = self._directory_page(space_index)
+        before = (space.free_blocks, space.max_free_order())
+        self.pool.fix(page_id)
+        mutate()
+        changed = (space.free_blocks, space.max_free_order()) != before
+        self._superdirectory[space_index] = space.max_free_order()
+        if changed:
+            self.pool.set_provider(page_id, lambda: serialize_directory(space))
+        self.pool.unfix(page_id, dirty=changed)
+
+    def _add_space(self) -> int:
+        """Grow the area by one buddy space; returns its index."""
+        space = BuddySpace(self.config.buddy_space_order)
+        self._spaces.append(space)
+        self._superdirectory.append(space.order)
+        index = len(self._spaces) - 1
+        page_id = self._directory_page(index)
+        self.pool.fix_new(page_id)
+        self.pool.set_provider(page_id, lambda: serialize_directory(space))
+        self.pool.unfix(page_id, dirty=True)
+        return index

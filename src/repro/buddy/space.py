@@ -1,0 +1,200 @@
+"""A single buddy space: ``2**order`` physically adjacent blocks.
+
+Space inside a buddy space is managed by the classic binary buddy system
+(Knuth; Koch 1987): free extents come in power-of-two sizes aligned to
+their size, a free extent can be split in two halves, and two free buddy
+halves coalesce back into their parent.
+
+Two properties required by the paper (Section 3.1) go beyond the textbook
+scheme:
+
+* *Precision of one block*: a client may request any number of blocks; the
+  space allocates the covering power of two and immediately trims (frees)
+  the unused right end, exactly like Starburst's "last segment is trimmed".
+* *Partial free*: a client may free any sub-range of a previously allocated
+  segment, not necessarily the whole segment.
+
+The allocation state also maintains, incrementally, the 1-bit-per-block
+bitmap that is persisted in the space's one-page directory block.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import AllocationError, OutOfSpaceError
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest ``k`` with ``2**k >= n`` (``n`` must be positive)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return (n - 1).bit_length()
+
+
+class BuddySpace:
+    """Binary-buddy manager of ``2**order`` blocks, offsets 0-based."""
+
+    def __init__(self, order: int) -> None:
+        if order < 0:
+            raise ValueError("order must be non-negative")
+        self.order = order
+        self.total_blocks = 1 << order
+        #: free_sets[k] holds offsets of free extents of size 2**k.
+        self._free_sets: list[set[int]] = [set() for _ in range(order + 1)]
+        self._free_sets[order].add(0)
+        self._free_blocks = self.total_blocks
+        #: 1 bit per block; bit set means the block is allocated.
+        self.bitmap = bytearray(-(-self.total_blocks // 8))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        """Total number of currently free blocks."""
+        return self._free_blocks
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Total number of currently allocated blocks."""
+        return self.total_blocks - self._free_blocks
+
+    def max_free_order(self) -> int:
+        """Order of the largest free extent, or -1 if the space is full."""
+        for k in range(self.order, -1, -1):
+            if self._free_sets[k]:
+                return k
+        return -1
+
+    def is_block_allocated(self, offset: int) -> bool:
+        """True if the block at ``offset`` is currently allocated."""
+        self._check_offset(offset)
+        return bool(self.bitmap[offset >> 3] & (1 << (offset & 7)))
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, n_blocks: int) -> int:
+        """Allocate ``n_blocks`` physically adjacent blocks.
+
+        The covering power of two is allocated and the unused tail is
+        trimmed back to the free lists.  Returns the offset of the first
+        block.  Raises :class:`OutOfSpaceError` if no extent is large
+        enough.
+        """
+        if n_blocks <= 0:
+            raise AllocationError("allocation size must be positive")
+        if n_blocks > self.total_blocks:
+            raise OutOfSpaceError(
+                f"segment of {n_blocks} blocks exceeds space of "
+                f"{self.total_blocks} blocks"
+            )
+        k = ceil_log2(n_blocks)
+        offset = self._take_extent(k)
+        if offset is None:
+            raise OutOfSpaceError(
+                f"no free extent of order {k} in this buddy space"
+            )
+        surplus = (1 << k) - n_blocks
+        self._set_bits(offset, n_blocks, True)
+        self._free_blocks -= n_blocks
+        if surplus:
+            # Trim: hand the unused right end straight back.
+            self._release_range(offset + n_blocks, surplus)
+        return offset
+
+    def free_range(self, offset: int, n_blocks: int) -> None:
+        """Free ``n_blocks`` blocks starting at ``offset``.
+
+        The range must be entirely allocated.  It may be any sub-range of
+        one or more previous allocations (partial free is allowed).
+        """
+        if n_blocks <= 0:
+            raise AllocationError("free size must be positive")
+        self._check_offset(offset)
+        if offset + n_blocks > self.total_blocks:
+            raise AllocationError("free range extends past end of space")
+        for b in range(offset, offset + n_blocks):
+            if not self.is_block_allocated(b):
+                raise AllocationError(f"block {b} is already free")
+        self._set_bits(offset, n_blocks, False)
+        self._free_blocks += n_blocks
+        self._release_range(offset, n_blocks)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _take_extent(self, k: int) -> int | None:
+        """Remove and return a free extent of order ``k``, splitting larger
+        extents as needed; ``None`` if nothing large enough is free."""
+        j = k
+        while j <= self.order and not self._free_sets[j]:
+            j += 1
+        if j > self.order:
+            return None
+        offset = self._free_sets[j].pop()
+        while j > k:
+            j -= 1
+            # Split: keep the left half, free the right half.
+            self._free_sets[j].add(offset + (1 << j))
+        return offset
+
+    def _release_range(self, offset: int, n_blocks: int) -> None:
+        """Return an arbitrary range to the free lists as aligned extents.
+
+        ``_free_blocks`` must already reflect the range being free.
+        """
+        while n_blocks > 0:
+            align = (offset & -offset).bit_length() - 1 if offset else self.order
+            k = min(align, n_blocks.bit_length() - 1)
+            self._insert_free(offset, k)
+            offset += 1 << k
+            n_blocks -= 1 << k
+
+    def _insert_free(self, offset: int, k: int) -> None:
+        """Insert a free extent of order ``k``, coalescing with buddies."""
+        while k < self.order:
+            buddy = offset ^ (1 << k)
+            if buddy not in self._free_sets[k]:
+                break
+            self._free_sets[k].discard(buddy)
+            offset = min(offset, buddy)
+            k += 1
+        self._free_sets[k].add(offset)
+
+    def _set_bits(self, offset: int, n_blocks: int, value: bool) -> None:
+        for b in range(offset, offset + n_blocks):
+            if value:
+                self.bitmap[b >> 3] |= 1 << (b & 7)
+            else:
+                self.bitmap[b >> 3] &= ~(1 << (b & 7))
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self.total_blocks:
+            raise AllocationError(
+                f"block offset {offset} outside space of {self.total_blocks} blocks"
+            )
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AssertionError on violation."""
+        seen: set[int] = set()
+        free_from_lists = 0
+        for k, extents in enumerate(self._free_sets):
+            for offset in extents:
+                assert offset % (1 << k) == 0, "free extent misaligned"
+                blocks = range(offset, offset + (1 << k))
+                assert not seen.intersection(blocks), "overlapping free extents"
+                seen.update(blocks)
+                for b in blocks:
+                    assert not self.is_block_allocated(b), (
+                        "free-list block marked allocated in bitmap"
+                    )
+                free_from_lists += 1 << k
+                if k < self.order:
+                    buddy = offset ^ (1 << k)
+                    assert buddy not in self._free_sets[k], "uncoalesced buddies"
+        assert free_from_lists == self._free_blocks, "free count drift"
+        bitmap_allocated = sum(bin(byte).count("1") for byte in self.bitmap)
+        assert bitmap_allocated == self.allocated_blocks, "bitmap count drift"

@@ -1,0 +1,46 @@
+"""Buffer frame: one page slot in the buffer pool."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+
+@dataclasses.dataclass
+class Frame:
+    """A single buffer-pool frame holding one disk page.
+
+    Attributes
+    ----------
+    page_id:
+        The disk page currently cached in this frame.
+    data:
+        Page content.  May be ``None`` for pages cached in phantom mode.
+    dirty:
+        True if the cached content is newer than the on-disk copy.
+    pin_count:
+        Number of outstanding fixes; a pinned frame cannot be evicted.
+    record:
+        Whether writebacks of this page should record content on the
+        simulated disk (False for phantom leaf-data pages).
+    provider:
+        Optional callable producing current page content lazily at
+        writeback time.  Used by the buddy allocator so directory pages
+        are serialized only when they actually reach disk.
+    lru_tick:
+        Monotonic use counter for LRU victim selection.
+    """
+
+    page_id: int
+    data: bytes | None = None
+    dirty: bool = False
+    pin_count: int = 0
+    record: bool = True
+    provider: Callable[[], bytes] | None = None
+    lru_tick: int = 0
+
+    def content(self) -> bytes:
+        """Current content, preferring the lazy provider when set."""
+        if self.provider is not None:
+            return self.provider()
+        return self.data if self.data is not None else b""

@@ -1,0 +1,282 @@
+"""The buffer manager of Section 3.2.
+
+A fixed number of page frames (12 in the paper's experiments) managed with
+an LRU policy that prefers evicting clean pages: "we start first by freeing
+the least recently used clean pages followed by dirty pages that, of
+course, have to be written back to disk".
+
+The pool supports the usual fix/unfix interface with pin counts, plus
+multi-page runs: :meth:`read_run` reads a run of physically adjacent pages
+into the pool with one physical I/O per missing sub-run, which is how
+segments of up to ``max_buffered_segment_pages`` pages are buffered.
+Larger segments bypass the pool entirely (see :mod:`repro.segio`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.buffer.frame import Frame
+from repro.core.config import SystemConfig
+from repro.core.errors import BufferPoolError
+from repro.disk.disk import SimulatedDisk
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """Hit/miss counters for the buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page lookups satisfied without disk I/O."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """LRU buffer pool over a :class:`~repro.disk.disk.SimulatedDisk`."""
+
+    def __init__(self, config: SystemConfig, disk: SimulatedDisk) -> None:
+        self.config = config
+        self.disk = disk
+        self.capacity = config.buffer_pool_pages
+        self._frames: dict[int, Frame] = {}
+        self._tick = 0
+        self.stats = PoolStats()
+
+    # ------------------------------------------------------------------
+    # Fix / unfix
+    # ------------------------------------------------------------------
+    def fix(self, page_id: int) -> Frame:
+        """Pin the page in the pool, reading it from disk on a miss.
+
+        Raises :class:`BufferPoolError` if every frame is pinned and the
+        page is not resident.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._make_room(1)
+            data = self.disk.read_pages(page_id, 1)
+            frame = Frame(page_id=page_id, data=data)
+            self._frames[page_id] = frame
+        frame.pin_count += 1
+        self._touch(frame)
+        return frame
+
+    def fix_new(self, page_id: int, data: bytes | None = None,
+                record: bool = True) -> Frame:
+        """Pin a freshly allocated page without reading it from disk.
+
+        The frame starts dirty: the caller is responsible for the content
+        reaching disk (via :meth:`flush_page` or eviction).
+        """
+        if page_id in self._frames:
+            raise BufferPoolError(f"page {page_id} is already resident")
+        self._make_room(1)
+        frame = Frame(page_id=page_id, data=data, dirty=True,
+                      pin_count=1, record=record)
+        self._frames[page_id] = frame
+        self._touch(frame)
+        return frame
+
+    def unfix(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin on the page, optionally marking it dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferPoolError(f"page {page_id} is not fixed")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def set_provider(self, page_id: int, provider: Callable[[], bytes]) -> None:
+        """Attach a lazy content provider to a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} is not resident")
+        frame.provider = provider
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, page_id: int) -> Frame | None:
+        """Return the resident frame for the page, if any (no I/O)."""
+        return self._frames.get(page_id)
+
+    def is_resident(self, page_id: int) -> bool:
+        """True if the page is currently cached."""
+        return page_id in self._frames
+
+    def free_or_evictable(self) -> int:
+        """Number of frames that are empty or hold unpinned pages."""
+        unpinned = sum(1 for f in self._frames.values() if f.pin_count == 0)
+        return (self.capacity - len(self._frames)) + unpinned
+
+    def can_accommodate(self, n_pages: int) -> bool:
+        """Whether a run of ``n_pages`` can be brought into the pool now.
+
+        This is the run-time "buffer availability" criterion of Section 3.2
+        (after Effelsberg & Haerder): the run must fit the pool and enough
+        unpinned frames must exist to make room.
+        """
+        return n_pages <= self.capacity and n_pages <= self.free_or_evictable()
+
+    # ------------------------------------------------------------------
+    # Multi-page runs
+    # ------------------------------------------------------------------
+    def read_run(self, start: int, n_pages: int, record: bool = True) -> bytes:
+        """Bring pages ``start .. start+n_pages-1`` into the pool, unpinned.
+
+        Pages already resident are reused (and counted as hits); each
+        maximal missing sub-run is read with a single physical I/O.
+        Returns the concatenated content of the whole run.  The caller must
+        have checked :meth:`can_accommodate` for the missing pages.
+        """
+        pages = range(start, start + n_pages)
+        # Pin resident pages first so eviction for the missing sub-runs
+        # cannot push out pages belonging to this same request.
+        missing = []
+        for page in pages:
+            frame = self._frames.get(page)
+            if frame is None:
+                missing.append(page)
+            else:
+                frame.pin_count += 1
+        self.stats.hits += n_pages - len(missing)
+        self.stats.misses += len(missing)
+        page_size = self.config.page_size
+        for run_start, run_len in _contiguous_runs(missing):
+            self._make_room(run_len)
+            data = self.disk.read_pages(run_start, run_len)
+            for i in range(run_len):
+                frame = Frame(
+                    page_id=run_start + i,
+                    data=data[i * page_size : (i + 1) * page_size],
+                    record=record,
+                    pin_count=1,
+                )
+                self._frames[run_start + i] = frame
+        chunks = []
+        for page in pages:
+            frame = self._frames[page]
+            frame.pin_count -= 1
+            self._touch(frame)
+            content = frame.content()
+            chunks.append(content.ljust(page_size, b"\x00"))
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    # Writeback and invalidation
+    # ------------------------------------------------------------------
+    def update_if_resident(self, page_id: int, data: bytes,
+                           dirty: bool = False) -> None:
+        """Refresh the cached copy of a page after it was written to disk."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.data = data
+            frame.provider = None
+            frame.dirty = dirty
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the pool, discarding any dirty content.
+
+        Used when the page's disk space is freed; raises if pinned.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pin_count:
+            raise BufferPoolError(f"cannot invalidate pinned page {page_id}")
+        del self._frames[page_id]
+
+    def invalidate_run(self, start: int, n_pages: int) -> None:
+        """Invalidate every resident page in the run."""
+        for page in range(start, start + n_pages):
+            self.invalidate(page)
+
+    def flush_page(self, page_id: int) -> None:
+        """Write the page to disk now if it is resident and dirty."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self._writeback(frame)
+
+    def flush_all(self) -> None:
+        """Write every dirty page to disk, grouping contiguous runs."""
+        dirty_ids = sorted(
+            page_id for page_id, f in self._frames.items() if f.dirty
+        )
+        for run_start, run_len in _contiguous_runs(dirty_ids):
+            data = b"".join(
+                self._frames[run_start + i]
+                .content()
+                .ljust(self.config.page_size, b"\x00")
+                for i in range(run_len)
+            )
+            record = all(
+                self._frames[run_start + i].record for i in range(run_len)
+            )
+            self.disk.write_pages(run_start, run_len, data, record=record)
+            for i in range(run_len):
+                frame = self._frames[run_start + i]
+                frame.dirty = False
+                self.stats.dirty_writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _touch(self, frame: Frame) -> None:
+        self._tick += 1
+        frame.lru_tick = self._tick
+
+    def _make_room(self, n_frames: int) -> None:
+        while len(self._frames) + n_frames > self.capacity:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        victim = self._choose_victim()
+        if victim is None:
+            raise BufferPoolError("all buffer frames are pinned")
+        if victim.dirty:
+            self._writeback(victim)
+        self.stats.evictions += 1
+        del self._frames[victim.page_id]
+
+    def _choose_victim(self) -> Frame | None:
+        """LRU among clean unpinned frames, then dirty unpinned frames."""
+        best: Frame | None = None
+        for prefer_clean in (True, False):
+            for frame in self._frames.values():
+                if frame.pin_count:
+                    continue
+                if frame.dirty == prefer_clean:
+                    continue
+                if best is None or frame.lru_tick < best.lru_tick:
+                    best = frame
+            if best is not None:
+                return best
+        return None
+
+    def _writeback(self, frame: Frame) -> None:
+        content = frame.content().ljust(self.config.page_size, b"\x00")
+        self.disk.write_pages(frame.page_id, 1, content, record=frame.record)
+        frame.dirty = False
+        self.stats.dirty_writebacks += 1
+
+
+def _contiguous_runs(page_ids: list[int]) -> list[tuple[int, int]]:
+    """Group a sorted list of page ids into (start, length) runs."""
+    runs: list[tuple[int, int]] = []
+    for page in page_ids:
+        if runs and runs[-1][0] + runs[-1][1] == page:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((page, 1))
+    return runs

@@ -1,0 +1,12 @@
+"""Core configuration, errors, environment, and the public store facade.
+
+Only configuration and errors are imported eagerly here; the environment
+and facade live in :mod:`repro.core.env` / :mod:`repro.core.api` (and are
+re-exported from the top-level :mod:`repro` package), which keeps the
+substrate packages free of import cycles.
+"""
+
+from repro.core import errors
+from repro.core.config import PAPER_CONFIG, SystemConfig, small_page_config
+
+__all__ = ["PAPER_CONFIG", "SystemConfig", "errors", "small_page_config"]

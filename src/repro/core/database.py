@@ -1,0 +1,146 @@
+"""A small database facade: named large objects with a record catalog.
+
+Ties the whole stack together the way the paper's systems are meant to
+be used: a catalog of small objects (slotted record pages) maps names to
+long field descriptors, and each named object's bytes live under the
+chosen large-object mechanism.  Objects are accessed by name through the
+byte-range API or as seekable file handles.
+
+    db = Database("eos", threshold_pages=16)
+    db.put("thesis.tex", b"\\documentclass...")
+    with db.open("thesis.tex") as handle:
+        handle.seek(0, os.SEEK_END)
+        handle.write(b"% the end")
+"""
+
+from __future__ import annotations
+
+from repro.core.api import make_manager
+from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.env import StorageEnvironment
+from repro.core.errors import ObjectNotFoundError, ReproError
+from repro.core.file import LargeObjectFile
+from repro.disk.iomodel import IOStats
+from repro.records.schema import Schema
+from repro.records.store import RecordId, RecordStore
+
+#: Catalog schema: a name plus the long field holding the content.
+_CATALOG_SCHEMA = Schema.of(name="text", content="long")
+
+
+class DuplicateNameError(ReproError):
+    """An object with this name already exists."""
+
+
+class Database:
+    """Named large objects over one environment and storage scheme."""
+
+    def __init__(
+        self,
+        scheme: str = "eos",
+        config: SystemConfig = PAPER_CONFIG,
+        *,
+        record_data: bool = True,
+        **manager_options,
+    ) -> None:
+        from repro.recovery.shadow import DEFAULT_SHADOW
+
+        self.env = StorageEnvironment(
+            config, record_leaf_data=record_data, shadow=DEFAULT_SHADOW
+        )
+        self.manager = make_manager(scheme, self.env, **manager_options)
+        self._catalog = RecordStore(_CATALOG_SCHEMA, self.manager)
+        self._names: dict[str, RecordId] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes = b"") -> None:
+        """Create a named object with initial content."""
+        if name in self._names:
+            raise DuplicateNameError(f"object {name!r} already exists")
+        self._names[name] = self._catalog.insert(name=name, content=data)
+
+    def drop(self, name: str) -> None:
+        """Delete a named object and free its space."""
+        rid = self._rid(name)
+        self._catalog.delete(rid)
+        del self._names[name]
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename an object (catalog-only; no data movement)."""
+        if new in self._names:
+            raise DuplicateNameError(f"object {new!r} already exists")
+        rid = self._rid(old)
+        self._catalog.update(rid, name=new)
+        self._names[new] = self._names.pop(old)
+
+    def exists(self, name: str) -> bool:
+        """Whether a named object exists."""
+        return name in self._names
+
+    def list(self) -> list[tuple[str, int]]:
+        """All (name, size) pairs, sorted by name."""
+        return sorted(
+            (name, self.size(name)) for name in self._names
+        )
+
+    # ------------------------------------------------------------------
+    # Byte-range access by name
+    # ------------------------------------------------------------------
+    def size(self, name: str) -> int:
+        """Size of a named object."""
+        return self._catalog.long_size(self._rid(name), "content")
+
+    def read(self, name: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        """Read a byte range (the whole object by default)."""
+        rid = self._rid(name)
+        if nbytes is None:
+            nbytes = self._catalog.long_size(rid, "content") - offset
+        return self._catalog.read_long(rid, "content", offset, nbytes)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes to a named object."""
+        self._catalog.append_long(self._rid(name), "content", data)
+
+    def insert(self, name: str, offset: int, data: bytes) -> None:
+        """Insert bytes into a named object."""
+        self._catalog.insert_long(self._rid(name), "content", offset, data)
+
+    def delete(self, name: str, offset: int, nbytes: int) -> None:
+        """Delete bytes from a named object."""
+        self._catalog.delete_long(self._rid(name), "content", offset, nbytes)
+
+    def replace(self, name: str, offset: int, data: bytes) -> None:
+        """Overwrite bytes of a named object."""
+        self._catalog.replace_long(self._rid(name), "content", offset, data)
+
+    def open(self, name: str) -> LargeObjectFile:
+        """A seekable file handle over a named object."""
+        record = self._catalog.get(self._rid(name))
+        return LargeObjectFile(self.manager, int(record["content"]))
+
+    def utilization(self, name: str) -> float:
+        """Storage utilization of a named object."""
+        return self._catalog.long_utilization(self._rid(name), "content")
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IOStats:
+        """Cumulative simulated I/O of the whole database."""
+        return self.env.cost.stats
+
+    def elapsed_ms(self) -> float:
+        """Total simulated I/O time in milliseconds."""
+        return self.stats.elapsed_ms(self.env.config)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rid(self, name: str) -> RecordId:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object named {name!r}") from None

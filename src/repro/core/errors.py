@@ -1,0 +1,35 @@
+"""Exception hierarchy for the large-object storage simulation."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent parameters."""
+
+
+class OutOfSpaceError(ReproError):
+    """The buddy allocator could not satisfy an allocation request."""
+
+
+class AllocationError(ReproError):
+    """An allocation or deallocation request was malformed."""
+
+
+class BufferPoolError(ReproError):
+    """Buffer pool misuse, e.g. unfixing a page that is not fixed."""
+
+
+class ObjectNotFoundError(ReproError, KeyError):
+    """No large object with the given id exists in the store."""
+
+
+class ByteRangeError(ReproError, ValueError):
+    """A byte-range operation fell outside the object's current bounds."""
+
+
+class StorageCorruptionError(ReproError):
+    """An internal structural invariant was violated (a bug, if raised)."""

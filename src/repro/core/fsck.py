@@ -1,0 +1,163 @@
+"""Storage consistency checking (an fsck for the simulated database).
+
+Cross-verifies the two sources of truth the storage system maintains:
+the *logical* one (which pages each object's structure references) and
+the *physical* one (which pages the buddy allocator believes are
+allocated).  Detects:
+
+* **dangling references** — an object references a page the allocator
+  considers free;
+* **double references** — two objects (or two parts of one) claim the
+  same page;
+* **leaks** — allocated pages no object references.
+
+Used by the test suite after long randomized workloads; also a useful
+debugging aid when developing new update algorithms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.blockbased.manager import BlockBasedManager
+from repro.core.manager import LargeObjectManager
+from repro.starburst.manager import StarburstManager
+from repro.tree.backed import TreeBackedManager
+
+
+@dataclasses.dataclass
+class FsckReport:
+    """Outcome of a consistency check."""
+
+    dangling: list[tuple[int, int]]  # (object id, page id)
+    doubly_referenced: list[int]
+    leaked_data_pages: list[int]
+    leaked_meta_pages: list[int]
+
+    @property
+    def clean(self) -> bool:
+        """True when no inconsistency of any kind was found."""
+        return not (
+            self.dangling
+            or self.doubly_referenced
+            or self.leaked_data_pages
+            or self.leaked_meta_pages
+        )
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        if self.clean:
+            return "fsck: clean"
+        return (
+            f"fsck: {len(self.dangling)} dangling, "
+            f"{len(self.doubly_referenced)} double refs, "
+            f"{len(self.leaked_data_pages)} leaked data pages, "
+            f"{len(self.leaked_meta_pages)} leaked meta pages"
+        )
+
+
+def object_page_runs(
+    manager: LargeObjectManager, oid: int
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """(data runs, meta runs) of pages one object references.
+
+    Runs are (first page id, page count) pairs over *allocated* pages —
+    including append slack, which is allocated even when not yet used.
+    """
+    data_runs: list[tuple[int, int]] = []
+    meta_runs: list[tuple[int, int]] = []
+    if isinstance(manager, TreeBackedManager):
+        tree = manager.tree_of(oid)
+        for extent in tree.iter_extents(charged=False):
+            data_runs.append((extent.page_id, extent.alloc_pages))
+        meta_runs.extend(
+            (node.page_id, 1) for node in tree._walk_nodes()
+        )
+    elif isinstance(manager, StarburstManager):
+        descriptor = manager.descriptor_of(oid)
+        for segment in descriptor.segments:
+            data_runs.append((segment.page_id, segment.alloc_pages))
+        meta_runs.append((descriptor.page_id, 1))
+    elif isinstance(manager, BlockBasedManager):
+        for page in manager.pages_of(oid):
+            data_runs.append((page.page_id, 1))
+        meta_runs.extend(
+            (page_id, 1) for page_id in manager._directories[oid]
+        )
+    else:  # pragma: no cover - future manager kinds
+        raise TypeError(f"cannot fsck manager of type {type(manager)!r}")
+    return data_runs, meta_runs
+
+
+def check(
+    managers_and_oids: list[tuple[LargeObjectManager, list[int]]],
+) -> FsckReport:
+    """Check consistency between objects and their shared environment.
+
+    All managers must share one :class:`StorageEnvironment`.  Meta pages
+    not referenced by any given object (e.g. record pages of layers not
+    passed in) are *not* reported as leaks unless no caller could own
+    them — only data-area leaks are exact; meta leaks are computed
+    against the pages the given objects reference.
+    """
+    if not managers_and_oids:
+        raise ValueError("nothing to check")
+    env = managers_and_oids[0][0].env
+    referenced_data: dict[int, int] = {}
+    referenced_meta: dict[int, int] = {}
+    dangling: list[tuple[int, int]] = []
+    double: set[int] = set()
+
+    for manager, oids in managers_and_oids:
+        if manager.env is not env:
+            raise ValueError("managers do not share an environment")
+        for oid in oids:
+            data_runs, meta_runs = object_page_runs(manager, oid)
+            for runs, referenced in (
+                (data_runs, referenced_data),
+                (meta_runs, referenced_meta),
+            ):
+                for start, count in runs:
+                    for page in range(start, start + count):
+                        if page in referenced:
+                            double.add(page)
+                        referenced[page] = oid
+
+    # Dangling: referenced but not allocated.
+    for referenced, allocator in (
+        (referenced_data, env.areas.data),
+        (referenced_meta, env.areas.meta),
+    ):
+        for page, oid in referenced.items():
+            if not _is_allocated(allocator, page):
+                dangling.append((oid, page))
+
+    leaked_data = _allocated_not_referenced(env.areas.data, referenced_data)
+    leaked_meta = _allocated_not_referenced(env.areas.meta, referenced_meta)
+    return FsckReport(
+        dangling=sorted(dangling),
+        doubly_referenced=sorted(double),
+        leaked_data_pages=leaked_data,
+        leaked_meta_pages=leaked_meta,
+    )
+
+
+def _is_allocated(allocator, page_id: int) -> bool:
+    try:
+        space_index, offset = allocator._locate(page_id)
+    except Exception:
+        return False
+    return allocator._spaces[space_index].is_block_allocated(offset)
+
+
+def _allocated_not_referenced(allocator, referenced: dict[int, int]) -> list[int]:
+    leaked = []
+    for index in range(allocator.space_count):
+        space = allocator._spaces[index]
+        base = allocator._data_base(index)
+        for offset in range(space.total_blocks):
+            if space.is_block_allocated(offset):
+                page = base + offset
+                if page not in referenced:
+                    leaked.append(page)
+    return leaked

@@ -1,0 +1,107 @@
+"""Abstract interface implemented by the three large-object managers.
+
+The operations are the byte-range interface motivated in the paper's
+introduction: create and destroy objects, read or replace a random byte
+range, insert or delete bytes at arbitrary positions, and append bytes at
+the end.  Object ids are the page ids of the object's root page (ESM and
+EOS) or long field descriptor page (Starburst).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.env import StorageEnvironment
+from repro.core.errors import ByteRangeError, ObjectNotFoundError
+
+
+class LargeObjectManager(abc.ABC):
+    """Common byte-range interface of the three storage mechanisms."""
+
+    #: Short scheme name ("esm", "starburst", or "eos").
+    scheme: str = ""
+
+    def __init__(self, env: StorageEnvironment) -> None:
+        self.env = env
+        self.config = env.config
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def create(self, data: bytes = b"") -> int:
+        """Create a new large object, optionally with initial content.
+
+        Returns the object id.
+        """
+
+    @abc.abstractmethod
+    def destroy(self, oid: int) -> None:
+        """Delete the object and free all its disk space."""
+
+    @abc.abstractmethod
+    def size(self, oid: int) -> int:
+        """Current object size in bytes."""
+
+    # ------------------------------------------------------------------
+    # Byte-range operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` bytes starting at ``offset``."""
+
+    @abc.abstractmethod
+    def append(self, oid: int, data: bytes) -> None:
+        """Append bytes at the end of the object."""
+
+    @abc.abstractmethod
+    def insert(self, oid: int, offset: int, data: bytes) -> None:
+        """Insert bytes at ``offset``, shifting the remainder right."""
+
+    @abc.abstractmethod
+    def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        """Delete ``nbytes`` bytes at ``offset``, shifting the remainder left."""
+
+    @abc.abstractmethod
+    def replace(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite ``len(data)`` bytes at ``offset`` (size unchanged)."""
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def allocated_pages(self, oid: int) -> int:
+        """Pages allocated to the object, including index/descriptor pages."""
+
+    def utilization(self, oid: int) -> float:
+        """Storage utilization: object bytes over allocated bytes.
+
+        Compares the object size with the actual space required to store
+        it, including possible index pages (Section 4.4.1).
+        """
+        pages = self.allocated_pages(oid)
+        if pages == 0:
+            return 1.0
+        return self.size(oid) / (pages * self.config.page_size)
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers
+    # ------------------------------------------------------------------
+    def _check_range(self, oid: int, offset: int, nbytes: int) -> None:
+        size = self.size(oid)
+        if offset < 0 or nbytes < 0 or offset + nbytes > size:
+            raise ByteRangeError(
+                f"range [{offset}, {offset + nbytes}) outside object "
+                f"{oid} of {size} bytes"
+            )
+
+    def _check_offset(self, oid: int, offset: int) -> None:
+        size = self.size(oid)
+        if not 0 <= offset <= size:
+            raise ByteRangeError(
+                f"offset {offset} outside object {oid} of {size} bytes"
+            )
+
+    @staticmethod
+    def _missing(oid: int) -> ObjectNotFoundError:
+        return ObjectNotFoundError(f"no large object with id {oid}")

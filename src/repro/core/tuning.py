@@ -1,0 +1,92 @@
+"""Parameter selection helpers implementing Section 4.6's guidance.
+
+The paper closes with concrete advice on the two client-visible knobs:
+
+* **ESM leaf size** is a hint with conflicting effects: "Large leaves
+  waste too much space at the end of partially full leaves but offer
+  good search time, and small leaves offer good storage utilization but
+  require doing many I/O's for reads.  Thus, in general, storage
+  utilization and read time can not be optimized at the same time."  The
+  helper therefore asks what to optimize for.
+* **EOS threshold** has a simple recipe: never below 4 blocks (that much
+  "comes for free"); for often-updated objects somewhat larger than the
+  expected search size; for static objects, the larger the better.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import PAPER_CONFIG, SystemConfig
+
+
+class Goal(enum.Enum):
+    """What an ESM client wants its leaf-size hint to optimize."""
+
+    UPDATES = "updates"
+    SCANS = "scans"
+    UTILIZATION = "utilization"
+    BALANCED = "balanced"
+
+
+def recommend_esm_leaf_pages(
+    goal: Goal | str,
+    expected_op_bytes: int = 10 * 1024,
+    config: SystemConfig = PAPER_CONFIG,
+) -> int:
+    """ESM leaf-size hint for a stated optimization goal.
+
+    * UPDATES/UTILIZATION: small leaves — one page, or the operation size
+      if larger (Figure 11: the best leaf is the one closest to the
+      insert size; Figure 7: small leaves keep utilization high).
+    * SCANS: large leaves lower the I/O cost of scanning (Section 2.1),
+      bounded by the largest segment.
+    * BALANCED: the operation size rounded up, at least 4 pages.
+    """
+    goal = Goal(goal)
+    op_pages = max(1, config.pages_for_bytes(expected_op_bytes))
+    if goal is Goal.UTILIZATION:
+        return 1
+    if goal is Goal.UPDATES:
+        # Figure 11: the best leaf is the largest one not exceeding the
+        # insert size (16 pages for 100 KB inserts, 4 for 10 KB, 1 for
+        # 100 B) — bigger leaves reshuffle more bytes than they save.
+        return min(_pow2_at_most(op_pages), config.max_segment_pages)
+    if goal is Goal.SCANS:
+        return min(64, config.max_segment_pages)
+    return min(
+        max(4, _pow2_at_most(op_pages)), config.max_segment_pages
+    )
+
+
+def recommend_eos_threshold_pages(
+    expected_op_bytes: int = 10 * 1024,
+    update_heavy: bool = True,
+    config: SystemConfig = PAPER_CONFIG,
+) -> int:
+    """EOS segment size threshold per the Section 4.6 selection process.
+
+    "First, segments less than 4 blocks must be avoided ... Second, for
+    often-updated objects, the T value should be somewhat larger than
+    the size of the search operations expected ... for more static
+    objects ... the larger the segment size threshold the better."
+    """
+    if not update_heavy:
+        return config.max_segment_pages
+    op_pages = max(1, config.pages_for_bytes(expected_op_bytes))
+    somewhat_larger = _pow2_at_least(op_pages) * 2
+    return min(max(4, somewhat_larger), config.max_segment_pages)
+
+
+def _pow2_at_least(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def _pow2_at_most(n: int) -> int:
+    power = 1
+    while power * 2 <= n:
+        power *= 2
+    return power

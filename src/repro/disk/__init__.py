@@ -1,0 +1,6 @@
+"""Simulated disk and the analytic I/O cost model."""
+
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel, IOStats
+
+__all__ = ["SimulatedDisk", "CostModel", "IOStats"]

@@ -1,0 +1,127 @@
+"""A simulated disk: a flat array of pages addressed by page id.
+
+Two storage modes coexist on the same disk, mirroring the paper's use of
+two database areas (Section 4.1):
+
+* **recorded** pages store their actual byte content.  Index pages and
+  buddy-space directories always use this mode, and the tests run the leaf
+  data in this mode too so byte-level correctness can be verified.
+* **phantom** pages record only that they were written.  The paper's
+  simulation "kept track of the number of disk I/O calls ... and the number
+  of pages involved in each access" for the leaf area without touching the
+  disk; phantom mode is the same trick.  Reads of phantom pages return
+  zero-filled bytes of the correct length.
+
+Every :meth:`read_pages` / :meth:`write_pages` call models one physical
+access of physically adjacent blocks: it charges exactly one seek plus one
+page-transfer per page through the shared :class:`~repro.disk.iomodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.errors import AllocationError
+from repro.disk.iomodel import CostModel
+
+#: Marker stored for pages written in phantom (count-only) mode.
+_PHANTOM = None
+
+
+class SimulatedDisk:
+    """Page-addressed simulated storage device with I/O cost accounting."""
+
+    def __init__(self, config: SystemConfig, cost_model: CostModel) -> None:
+        self.config = config
+        self.cost = cost_model
+        self._pages: dict[int, bytes | None] = {}
+
+    # ------------------------------------------------------------------
+    # Accounted physical I/O
+    # ------------------------------------------------------------------
+    def read_pages(self, start: int, n_pages: int) -> bytes:
+        """Read ``n_pages`` physically adjacent pages in one I/O call.
+
+        Returns the concatenated page contents.  Pages that were written in
+        phantom mode (or never written) read back as zeros.
+        """
+        self._check_range(start, n_pages)
+        self.cost.charge_read(n_pages)
+        return self.peek_pages(start, n_pages)
+
+    def write_pages(
+        self, start: int, n_pages: int, data: bytes, record: bool = True
+    ) -> None:
+        """Write ``n_pages`` physically adjacent pages in one I/O call.
+
+        ``data`` may be shorter than ``n_pages`` pages; the tail of the last
+        page is zero-filled.  With ``record=False`` the content is discarded
+        and only the cost is charged (phantom mode).
+        """
+        self._check_range(start, n_pages)
+        page_size = self.config.page_size
+        if len(data) > n_pages * page_size:
+            raise AllocationError(
+                f"writing {len(data)} bytes into {n_pages} pages of "
+                f"{page_size} bytes each"
+            )
+        self.cost.charge_write(n_pages)
+        if record:
+            padded = bytes(data).ljust(n_pages * page_size, b"\x00")
+            for i in range(n_pages):
+                self._pages[start + i] = padded[i * page_size : (i + 1) * page_size]
+        else:
+            for i in range(n_pages):
+                self._pages[start + i] = _PHANTOM
+
+    # ------------------------------------------------------------------
+    # Unaccounted access (verification / in-memory bookkeeping only)
+    # ------------------------------------------------------------------
+    def peek_pages(self, start: int, n_pages: int) -> bytes:
+        """Return page contents without charging any I/O cost."""
+        self._check_range(start, n_pages)
+        page_size = self.config.page_size
+        pages = self._pages
+        if not any((start + i) in pages and pages[start + i] is not None
+                   for i in range(n_pages)):
+            # Fast path for unwritten/phantom ranges: one zero buffer.
+            return bytes(n_pages * page_size)
+        chunks = []
+        for i in range(n_pages):
+            content = pages.get(start + i)
+            chunks.append(content if content is not None else bytes(page_size))
+        return b"".join(chunks)
+
+    def poke_pages(self, start: int, data: bytes) -> None:
+        """Overwrite page contents without charging any I/O cost.
+
+        Used only by tests to set up scenarios; production code paths always
+        go through :meth:`write_pages`.
+        """
+        page_size = self.config.page_size
+        n_pages = -(-len(data) // page_size)
+        self._check_range(start, n_pages)
+        padded = bytes(data).ljust(n_pages * page_size, b"\x00")
+        for i in range(n_pages):
+            self._pages[start + i] = padded[i * page_size : (i + 1) * page_size]
+
+    def was_written(self, page_id: int) -> bool:
+        """True if the page has ever been written (recorded or phantom)."""
+        return page_id in self._pages
+
+    def discard_pages(self, start: int, n_pages: int) -> None:
+        """Forget page contents (called when space is freed)."""
+        self._check_range(start, n_pages)
+        for i in range(n_pages):
+            self._pages.pop(start + i, None)
+
+    @property
+    def pages_in_use(self) -> int:
+        """Number of distinct pages ever written and not discarded."""
+        return len(self._pages)
+
+    @staticmethod
+    def _check_range(start: int, n_pages: int) -> None:
+        if start < 0:
+            raise AllocationError(f"negative page id {start}")
+        if n_pages <= 0:
+            raise AllocationError(f"page count must be positive, got {n_pages}")

@@ -1,0 +1,5 @@
+"""EOS large-object mechanism."""
+
+from repro.eos.manager import EOSManager, EOSOptions
+
+__all__ = ["EOSManager", "EOSOptions"]

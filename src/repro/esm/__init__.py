@@ -1,0 +1,5 @@
+"""EXODUS storage manager (ESM) large-object mechanism."""
+
+from repro.esm.manager import ESMManager, ESMOptions
+
+__all__ = ["ESMManager", "ESMOptions"]

@@ -1,0 +1,68 @@
+"""Leaf arrangement rules of the ESM large object manager (Section 3.4).
+
+ESM stores a large object in fixed-size leaf segments.  These helpers
+compute how a given number of bytes is distributed over leaves:
+
+* :func:`arrange_fresh` lays out brand-new bytes (object creation, pure
+  extension past a full rightmost leaf).
+* :func:`arrange_append_overflow` is the paper's append redistribution:
+  "all but the two rightmost leaves are full.  The remaining bytes are
+  evenly distributed in the last two leaves, leaving each of them at
+  least 1/2 full" (Section 4.2).
+* :func:`arrange_even` is the even distribution used by the insert
+  algorithms of [Care86]: the affected bytes are spread evenly over the
+  minimum number of leaves, every leaf at least half full.
+"""
+
+from __future__ import annotations
+
+
+def arrange_fresh(total_bytes: int, capacity: int) -> list[int]:
+    """Leaf sizes for laying out fresh bytes at the end of an object."""
+    _check(total_bytes, capacity)
+    if total_bytes == 0:
+        return []
+    full, remainder = divmod(total_bytes, capacity)
+    if remainder == 0:
+        return [capacity] * full
+    if full == 0:
+        # A sole (or rightmost) small leaf is allowed below half full.
+        return [remainder]
+    if 2 * remainder >= capacity:
+        return [capacity] * full + [remainder]
+    return [capacity] * (full - 1) + _split_evenly(capacity + remainder)
+
+
+def arrange_append_overflow(total_bytes: int, capacity: int) -> list[int]:
+    """Leaf sizes after an append overflow redistribution."""
+    _check(total_bytes, capacity)
+    if total_bytes == 0:
+        return []
+    full, remainder = divmod(total_bytes, capacity)
+    if remainder == 0:
+        return [capacity] * full
+    if full == 0:
+        return [total_bytes]
+    return [capacity] * (full - 1) + _split_evenly(capacity + remainder)
+
+
+def arrange_even(total_bytes: int, capacity: int) -> list[int]:
+    """Spread bytes evenly over the minimum number of leaves."""
+    _check(total_bytes, capacity)
+    if total_bytes == 0:
+        return []
+    leaves = -(-total_bytes // capacity)
+    base, extra = divmod(total_bytes, leaves)
+    return [base + 1] * extra + [base] * (leaves - extra)
+
+
+def _split_evenly(total: int) -> list[int]:
+    half = total // 2
+    return [total - half, half]
+
+
+def _check(total_bytes: int, capacity: int) -> None:
+    if capacity <= 0:
+        raise ValueError("leaf capacity must be positive")
+    if total_bytes < 0:
+        raise ValueError("byte count must be non-negative")

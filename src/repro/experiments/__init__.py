@@ -1,0 +1,1 @@
+"""Experiment harness: one module per table/figure of the paper."""

@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                      # everything, default scale
+    repro-experiments fig5 table1         # selected experiments
+    repro-experiments --plot fig5         # add an ASCII chart rendering
+    REPRO_SCALE=paper repro-experiments   # the paper's full 10 MB scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import (
+    CSV_EXPORTS,
+    EXPERIMENTS,
+    PLOTTABLE,
+    export_csv,
+    run,
+    run_plot,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of Biliris (SIGMOD 1992). "
+            "Scale is controlled by REPRO_SCALE=tiny|small|paper "
+            "(or REPRO_FULL=1)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help=f"experiments to run (default: all). Known: "
+             f"{', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help=(
+            "also write CSV series files for figure experiments "
+            f"({', '.join(sorted(CSV_EXPORTS))})"
+        ),
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help=(
+            "also render an ASCII chart for figure experiments "
+            f"({', '.join(sorted(PLOTTABLE))})"
+        ),
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or sorted(EXPERIMENTS)
+    for name in names:
+        print(run(name))
+        if args.plot and name in PLOTTABLE:
+            print()
+            print(run_plot(name))
+        if args.csv and name in CSV_EXPORTS:
+            print(f"wrote {export_csv(name, args.csv)}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Shared experiment parameters, scaling, and object-building helpers.
+
+All experiments default to the paper's setup (Section 4.1): Table 1
+system parameters and a 10 MB object.  Because a pure-Python simulation
+of the full parameter sweep takes minutes, the pytest-benchmark harness
+runs a scaled-down configuration by default; set ``REPRO_SCALE=paper``
+(or ``REPRO_FULL=1``) to reproduce the paper-size runs, exactly as
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import PAPER_CONFIG, SystemConfig
+
+MB = 1 << 20
+KB = 1 << 10
+
+#: Figure 5/6 append and scan sizes in kilobytes (paper footnote 2).
+APPEND_SIZES_KB = (
+    3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32,
+    50, 64, 100, 128, 200, 256, 512,
+)
+
+#: ESM leaf sizes and EOS segment size thresholds, in pages (Section 4.1).
+ESM_LEAF_PAGES = (1, 4, 16, 64)
+EOS_THRESHOLDS = (1, 4, 16, 64)
+
+#: Mean operation sizes for the random-update experiments (Section 4.4).
+MEAN_OP_SIZES = (100, 10 * KB, 100 * KB)
+
+#: Chunk size used to build the object before the random-update runs.
+BUILD_CHUNK_BYTES = 100 * KB
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """One experiment scale: object size, operation counts, sweep width."""
+
+    name: str
+    object_bytes: int
+    n_ops: int
+    window: int
+    starburst_ops: int
+    append_sizes_kb: tuple[int, ...]
+
+    @property
+    def marks(self) -> int:
+        """Number of graph marks (windows) a run produces."""
+        return self.n_ops // self.window
+
+
+#: The paper's measurement scale (Section 4.1 / 4.4).
+PAPER_SCALE = Scale(
+    name="paper",
+    object_bytes=10 * MB,
+    n_ops=12_000,
+    window=2_000,
+    starburst_ops=240,
+    append_sizes_kb=APPEND_SIZES_KB,
+)
+
+#: Default benchmark scale: same shapes, ~100x faster.
+SMALL_SCALE = Scale(
+    name="small",
+    object_bytes=1 * MB,
+    n_ops=1_200,
+    window=200,
+    starburst_ops=60,
+    append_sizes_kb=(3, 4, 5, 8, 16, 32, 64, 128, 256, 512),
+)
+
+#: Tiny scale for smoke tests.
+TINY_SCALE = Scale(
+    name="tiny",
+    object_bytes=256 * KB,
+    n_ops=240,
+    window=60,
+    starburst_ops=24,
+    append_sizes_kb=(3, 4, 8, 64),
+)
+
+_SCALES = {s.name: s for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE)}
+
+
+def format_object_size(nbytes: int) -> str:
+    """Human label for an object size ("10 MB", "256 KB")."""
+    if nbytes >= MB:
+        return f"{nbytes / MB:g} MB"
+    return f"{nbytes / KB:g} KB"
+
+
+def resolve_scale(name: str | None = None) -> Scale:
+    """Pick a scale: explicit name, else REPRO_SCALE / REPRO_FULL env."""
+    if name is None:
+        if os.environ.get("REPRO_FULL"):
+            name = "paper"
+        else:
+            name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+
+
+def make_store(
+    scheme: str,
+    *,
+    leaf_pages: int = 4,
+    threshold_pages: int = 4,
+    config: SystemConfig = PAPER_CONFIG,
+    shadowing: bool = True,
+) -> LargeObjectStore:
+    """An experiment store: phantom leaf data (the paper's own trick)."""
+    return LargeObjectStore(
+        scheme,
+        config,
+        leaf_pages=leaf_pages,
+        threshold_pages=threshold_pages,
+        record_data=False,
+        shadowing=shadowing,
+    )
+
+
+def build_object(
+    store: LargeObjectStore, total_bytes: int, chunk_bytes: int
+) -> int:
+    """Build an object by successive fixed-size appends; trim at the end.
+
+    Returns the object id.  Trimming frees the untrimmed slack of the
+    rightmost Starburst/EOS segment, as both systems do once building
+    completes ("the last segment is trimmed").
+    """
+    oid = store.create()
+    chunk = bytes(chunk_bytes)
+    done = 0
+    while done < total_bytes:
+        take = min(chunk_bytes, total_bytes - done)
+        store.append(oid, chunk if take == chunk_bytes else chunk[:take])
+        done += take
+    trim = getattr(store.manager, "trim", None)
+    if trim is not None:
+        trim(oid)
+    return oid

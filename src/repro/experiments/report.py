@@ -1,0 +1,77 @@
+"""One-shot report generation: every table and figure into one document.
+
+``build_report()`` runs the full experiment suite at the current scale
+and assembles a single markdown document — tables as fenced text blocks,
+figures additionally as ASCII charts — so a complete reproduction run
+can be archived or attached to a discussion in one file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.common import resolve_scale
+from repro.experiments.registry import EXPERIMENTS, PLOTTABLE, run, run_plot
+
+#: Section order and human titles for the report.
+_SECTIONS = (
+    ("table1", "Table 1 — fixed system parameters"),
+    ("fig5", "Figure 5 — object creation time"),
+    ("fig6", "Figure 6 — sequential scan time"),
+    ("fig7-8", "Figures 7-8 — storage utilization under updates"),
+    ("tables23", "Tables 2-3 — Starburst read and update costs"),
+    ("fig9-10", "Figures 9-10 — read I/O cost under updates"),
+    ("fig11-12", "Figures 11-12 — insert (and delete) I/O cost"),
+    ("scaling", "Object-size scaling"),
+    ("summary", "Section 4.6 cross-scheme summary"),
+)
+
+
+def build_report(names: tuple[str, ...] | None = None) -> str:
+    """Run the experiments and return the assembled markdown report."""
+    scale = resolve_scale()
+    wanted = names or tuple(name for name, _title in _SECTIONS)
+    titles = dict(_SECTIONS)
+    parts = [
+        "# Reproduction report",
+        "",
+        "Biliris, *The Performance of Three Database Storage Structures "
+        "for Managing Large Objects* (SIGMOD 1992).",
+        "",
+        f"Scale: `{scale.name}` — {scale.object_bytes:,}-byte object, "
+        f"{scale.n_ops:,} operations per random-update run.",
+    ]
+    for name in wanted:
+        if name not in EXPERIMENTS:
+            raise ValueError(f"unknown experiment {name!r}")
+        parts.append("")
+        parts.append(f"## {titles.get(name, name)}")
+        parts.append("")
+        parts.append("```")
+        parts.append(run(name))
+        parts.append("```")
+        if name in PLOTTABLE:
+            parts.append("")
+            parts.append("```")
+            parts.append(run_plot(name))
+            parts.append("```")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(path: str, names: tuple[str, ...] | None = None) -> str:
+    """Write the report to a file; returns the path."""
+    text = build_report(names)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def main() -> int:
+    """CLI helper: ``python -m repro.experiments.report [PATH]``."""
+    path = sys.argv[1] if len(sys.argv) > 1 else "REPORT.md"
+    print(f"wrote {write_report(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Small objects (records) with long-field descriptors (Section 2)."""
+
+from repro.records.page import PageFullError, SlottedPage
+from repro.records.schema import Field, FieldKind, Schema, SchemaError
+from repro.records.store import RecordId, RecordStore
+
+__all__ = [
+    "Field",
+    "FieldKind",
+    "PageFullError",
+    "RecordId",
+    "RecordStore",
+    "Schema",
+    "SchemaError",
+    "SlottedPage",
+]

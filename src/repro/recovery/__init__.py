@@ -1,0 +1,5 @@
+"""Recovery (shadowing) policy."""
+
+from repro.recovery.shadow import DEFAULT_SHADOW, NO_SHADOW, ShadowPolicy
+
+__all__ = ["DEFAULT_SHADOW", "NO_SHADOW", "ShadowPolicy"]

@@ -1,0 +1,173 @@
+"""Crash injection and shadow recovery verification (Section 3.3).
+
+The paper's mechanisms all assume shadowing: "a page is never
+overwritten; instead, a write is performed by allocating and writing a
+new page and leaving the old one intact until it is no longer needed for
+recovery".  The study itself does not run transactions, but the property
+shadowing buys is testable: *if a crash interrupts an operation at any
+point before the root/descriptor write (the commit point), the object's
+previous state is fully reconstructible from the disk image*.
+
+:class:`CrashInjector` arms a write budget on a store's simulated disk;
+the budgeted write raises :class:`CrashError`, leaving the disk torn.
+While armed, frees do not discard page content (a real disk keeps the
+bytes of freed blocks; discarding them is a memory-saving artifact of
+the simulation).  The ``rebuild_*`` functions then reconstruct an
+object's content purely from serialized disk images — the recovery path.
+"""
+
+from __future__ import annotations
+
+from repro.blockbased.manager import BlockBasedManager
+from repro.buddy.area import DATA_AREA_BASE, META_AREA_BASE
+from repro.core.env import StorageEnvironment
+from repro.core.errors import ReproError
+from repro.starburst.descriptor import LongFieldDescriptor
+from repro.tree.node import IndexNode
+
+
+class CrashError(ReproError):
+    """Raised by the injector when the simulated system 'crashes'."""
+
+
+class CrashInjector:
+    """Arms a crash after a fixed number of physical page writes."""
+
+    def __init__(self, env: StorageEnvironment) -> None:
+        self.env = env
+        self._budget: int | None = None
+        self._installed = False
+        self._original_write = None
+        self._original_discard = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, writes_before_crash: int) -> None:
+        """Crash on the (N+1)-th physical write call from now."""
+        if writes_before_crash < 0:
+            raise ValueError("write budget must be non-negative")
+        self._budget = writes_before_crash
+        self._install()
+
+    def disarm(self) -> None:
+        """Remove the injection; the disk behaves normally again."""
+        self._budget = None
+        self._uninstall()
+
+    def __enter__(self) -> "CrashInjector":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.disarm()
+
+    # ------------------------------------------------------------------
+    # Interception
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        if self._installed:
+            return
+        disk = self.env.disk
+        self._original_write = disk.write_pages
+        self._original_discard = disk.discard_pages
+
+        def write_pages(start, n_pages, data, record=True):
+            if self._budget is not None:
+                if self._budget == 0:
+                    raise CrashError(
+                        f"simulated crash before writing page {start}"
+                    )
+                self._budget -= 1
+            return self._original_write(start, n_pages, data, record=record)
+
+        def discard_pages(start, n_pages):
+            # Freed blocks keep their bytes on a real disk until reused;
+            # retain them so recovery can read pre-crash content.
+            return None
+
+        disk.write_pages = write_pages
+        disk.discard_pages = discard_pages
+        self._installed = True
+
+    def _uninstall(self) -> None:
+        if not self._installed:
+            return
+        disk = self.env.disk
+        disk.write_pages = self._original_write
+        disk.discard_pages = self._original_discard
+        self._installed = False
+
+
+# ----------------------------------------------------------------------
+# Recovery: rebuild object content purely from disk images
+# ----------------------------------------------------------------------
+def rebuild_tree_content(
+    env: StorageEnvironment, root_page_id: int, leaf_alloc_pages
+) -> bytes:
+    """Reconstruct an ESM/EOS object from its on-disk tree image."""
+    pieces: list[bytes] = []
+    _walk_node(env, root_page_id, True, leaf_alloc_pages, pieces)
+    return b"".join(pieces)
+
+
+def _walk_node(env, page_id, is_root, leaf_alloc_pages, pieces) -> None:
+    image = env.disk.peek_pages(page_id, 1)
+    node, _total, _rightmost = IndexNode.deserialize(
+        image,
+        page_id,
+        is_root=is_root,
+        data_base=DATA_AREA_BASE,
+        meta_base=META_AREA_BASE,
+        leaf_alloc_pages=leaf_alloc_pages,
+    )
+    for entry in node.entries:
+        if node.is_leaf_parent:
+            extent = entry.ref
+            raw = env.disk.peek_pages(
+                extent.page_id, extent.used_pages(env.config.page_size)
+            )
+            pieces.append(raw[: extent.used_bytes])
+        else:
+            _walk_node(env, entry.ref, False, leaf_alloc_pages, pieces)
+
+
+def rebuild_starburst_content(
+    env: StorageEnvironment, descriptor_page: int
+) -> bytes:
+    """Reconstruct a long field from its on-disk descriptor image."""
+    image = env.disk.peek_pages(descriptor_page, 1)
+    descriptor = LongFieldDescriptor.deserialize(
+        image, descriptor_page, env.config, DATA_AREA_BASE
+    )
+    pieces = []
+    for segment in descriptor.segments:
+        raw = env.disk.peek_pages(
+            segment.page_id, segment.used_pages(env.config.page_size)
+        )
+        pieces.append(raw[: segment.used_bytes])
+    return b"".join(pieces)
+
+
+def rebuild_blockbased_content(
+    env: StorageEnvironment, directory_page: int
+) -> bytes:
+    """Reconstruct a block-based object from its directory chain."""
+    pieces = []
+    for page in BlockBasedManager.load_directory_chain(env, directory_page):
+        raw = env.disk.peek_pages(page.page_id, 1)
+        pieces.append(raw[: page.used_bytes])
+    return b"".join(pieces)
+
+
+def rebuild_content(store, oid: int) -> bytes:
+    """Reconstruct any scheme's object content from disk images only."""
+    scheme = store.scheme
+    if scheme in ("esm", "eos"):
+        return rebuild_tree_content(
+            store.env, oid, store.manager._leaf_alloc_pages
+        )
+    if scheme == "starburst":
+        return rebuild_starburst_content(store.env, oid)
+    if scheme == "blockbased":
+        return rebuild_blockbased_content(store.env, oid)
+    raise ValueError(f"unknown scheme {scheme!r}")

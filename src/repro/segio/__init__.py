@@ -1,0 +1,5 @@
+"""Hybrid segment I/O layer shared by all three large-object managers."""
+
+from repro.segio.segment_io import SegmentIO
+
+__all__ = ["SegmentIO"]

@@ -1,0 +1,190 @@
+"""Reads and writes on multi-block segments (Sections 3.2 and 3.3).
+
+The buffering scheme is the paper's hybrid approach:
+
+* A requested page run short enough to be buffered (at most
+  ``max_buffered_segment_pages`` pages) is read *in a single step* into the
+  buffer pool, provided the pool can make room for it.
+* Longer runs bypass the pool and are read "directly into the application
+  space".  If the requested byte range does not match block boundaries
+  (Figure 4), the single request becomes the 3-step I/O: the first and/or
+  last block is read through the buffer pool and copied from there, and the
+  interior blocks are read directly with one I/O call.
+
+Writes always go straight to disk (the managers flush dirty pages at the
+end of each operation, per the shadowing discussion of Section 3.3); any
+resident copies of written pages are refreshed so the pool never holds
+stale leaf data.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.pool import BufferPool
+from repro.core.config import SystemConfig
+from repro.core.errors import ByteRangeError
+
+
+class SegmentIO:
+    """Policy layer translating byte-range requests into physical I/O."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pool: BufferPool,
+        record_leaf_data: bool = True,
+        bypass_pool: bool = False,
+        always_pool: bool = False,
+    ) -> None:
+        """``bypass_pool`` / ``always_pool`` exist for the ablation benches:
+        they force the never-buffer / always-buffer extremes of Section 3.2."""
+        self.config = config
+        self.pool = pool
+        self.record_leaf_data = record_leaf_data
+        self.bypass_pool = bypass_pool
+        self.always_pool = always_pool
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_range(self, segment_page: int, byte_off: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` bytes starting ``byte_off`` bytes into a segment.
+
+        Only the pages containing the requested bytes are read (the unit of
+        I/O is a single disk page, Section 3.3).  Returns exactly the
+        requested bytes.
+        """
+        if nbytes < 0 or byte_off < 0:
+            raise ByteRangeError("negative byte range")
+        if nbytes == 0:
+            return b""
+        page_size = self.config.page_size
+        first = byte_off // page_size
+        last = (byte_off + nbytes - 1) // page_size
+        data = self.read_pages(segment_page + first, last - first + 1)
+        start = byte_off - first * page_size
+        return data[start : start + nbytes]
+
+    def read_pages(self, start_page: int, n_pages: int) -> bytes:
+        """Read a run of physically adjacent pages under the hybrid policy."""
+        if self._should_buffer(n_pages):
+            return self.pool.read_run(start_page, n_pages,
+                                      record=self.record_leaf_data)
+        # Large run: bypass the pool.  Boundary blocks that are already
+        # resident are taken from the pool; the interior is one direct I/O.
+        page_size = self.config.page_size
+        first_cached = self._resident_content(start_page)
+        last_cached = (
+            self._resident_content(start_page + n_pages - 1)
+            if n_pages > 1
+            else None
+        )
+        middle_start = start_page + (1 if first_cached is not None else 0)
+        middle_end = start_page + n_pages - (1 if last_cached is not None else 0)
+        chunks: list[bytes] = []
+        if first_cached is not None:
+            chunks.append(first_cached.ljust(page_size, b"\x00"))
+        if middle_end > middle_start:
+            chunks.append(
+                self.pool.disk.read_pages(middle_start, middle_end - middle_start)
+            )
+        if last_cached is not None:
+            chunks.append(last_cached.ljust(page_size, b"\x00"))
+        return b"".join(chunks)
+
+    def read_boundary_unaligned(
+        self, segment_page: int, byte_off: int, nbytes: int
+    ) -> bytes:
+        """Read a byte range with the explicit 3-step boundary treatment.
+
+        Like :meth:`read_range`, but when the run is too large to buffer
+        *and* the byte range does not match block boundaries, the first
+        and/or last block goes through the buffer pool (and stays cached)
+        while the interior is read directly — the 3-step I/O of Figure 4.
+        """
+        if nbytes < 0 or byte_off < 0:
+            raise ByteRangeError("negative byte range")
+        if nbytes == 0:
+            return b""
+        page_size = self.config.page_size
+        first = byte_off // page_size
+        last = (byte_off + nbytes - 1) // page_size
+        n_pages = last - first + 1
+        if self._should_buffer(n_pages):
+            data = self.pool.read_run(segment_page + first, n_pages,
+                                      record=self.record_leaf_data)
+            start = byte_off - first * page_size
+            return data[start : start + nbytes]
+
+        left_unaligned = byte_off % page_size != 0
+        right_unaligned = (byte_off + nbytes) % page_size != 0
+        chunks: list[bytes] = []
+        middle_start = segment_page + first
+        middle_count = n_pages
+        if left_unaligned:
+            chunks.append(self._read_one_page(segment_page + first))
+            middle_start += 1
+            middle_count -= 1
+        if right_unaligned and middle_count > 0:
+            middle_count -= 1
+        if middle_count > 0:
+            chunks.append(self.pool.disk.read_pages(middle_start, middle_count))
+        if right_unaligned and (not left_unaligned or n_pages > 1):
+            chunks.append(self._read_one_page(segment_page + last))
+        data = b"".join(chunks)
+        start = byte_off - first * page_size
+        return data[start : start + nbytes]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_pages(self, start_page: int, data: bytes,
+                    n_pages: int | None = None) -> None:
+        """Write page-aligned data to a run of adjacent pages in one I/O.
+
+        ``data`` may end mid-page; the tail of the last page is zero
+        filled.  Resident pool copies are refreshed (clean) so subsequent
+        buffered reads see the new content.
+        """
+        page_size = self.config.page_size
+        if n_pages is None:
+            n_pages = -(-len(data) // page_size)
+        self.pool.disk.write_pages(
+            start_page, n_pages, data, record=self.record_leaf_data
+        )
+        for i in range(n_pages):
+            if self.pool.is_resident(start_page + i):
+                page = bytes(data[i * page_size : (i + 1) * page_size])
+                self.pool.update_if_resident(
+                    start_page + i, page.ljust(page_size, b"\x00")
+                )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _should_buffer(self, n_pages: int) -> bool:
+        if self.bypass_pool:
+            return False
+        limit = (
+            self.pool.capacity
+            if self.always_pool
+            else self.config.max_buffered_segment_pages
+        )
+        return n_pages <= limit and self.pool.can_accommodate(n_pages)
+
+    def _resident_content(self, page_id: int) -> bytes | None:
+        frame = self.pool.lookup(page_id)
+        if frame is None:
+            return None
+        self.pool.stats.hits += 1
+        return frame.content()
+
+    def _read_one_page(self, page_id: int) -> bytes:
+        """Read one page, through the pool when possible."""
+        frame = self.pool.lookup(page_id)
+        if frame is not None:
+            self.pool.stats.hits += 1
+            return frame.content().ljust(self.config.page_size, b"\x00")
+        if not self.bypass_pool and self.pool.can_accommodate(1):
+            return self.pool.read_run(page_id, 1, record=self.record_leaf_data)
+        self.pool.stats.misses += 1
+        return self.pool.disk.read_pages(page_id, 1)

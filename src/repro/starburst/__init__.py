@@ -1,0 +1,11 @@
+"""Starburst long field manager."""
+
+from repro.starburst.descriptor import LongFieldDescriptor, Segment
+from repro.starburst.manager import StarburstManager, StarburstOptions
+
+__all__ = [
+    "LongFieldDescriptor",
+    "Segment",
+    "StarburstManager",
+    "StarburstOptions",
+]

@@ -1,0 +1,534 @@
+"""The Starburst long field manager (Sections 2.2 and 3.5).
+
+Long fields are stored in segments that double in size until the maximum
+segment size is reached (when the eventual size is unknown); a long field
+created with its content known in advance uses maximum-size segments.  In
+either case the last segment is trimmed.
+
+Search and append are straightforward.  Byte inserts and deletes in the
+middle of the field cannot be handled gracefully: the segments to the
+right of — and, because of shadowing, including — the segment holding the
+start byte are read, and the surviving bytes together with any new ones
+are placed into a new set of segments.  The copy streams through a fixed
+virtual-memory staging buffer (512 KB in the paper).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+from repro.buddy.area import DATA_AREA_BASE
+from repro.core.env import StorageEnvironment
+from repro.core.manager import LargeObjectManager
+from repro.starburst.descriptor import (
+    LongFieldDescriptor,
+    Segment,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StarburstOptions:
+    """Client-visible knobs of the Starburst long field manager."""
+
+    #: Cap on segment size in pages; None uses the system maximum.
+    max_segment_pages: int | None = None
+
+
+class StarburstManager(LargeObjectManager):
+    """Starburst long field manager over a :class:`StorageEnvironment`."""
+
+    scheme = "starburst"
+
+    def __init__(
+        self, env: StorageEnvironment, options: StarburstOptions | None = None
+    ) -> None:
+        super().__init__(env)
+        self.options = options or StarburstOptions()
+        self._fields: dict[int, LongFieldDescriptor] = {}
+
+    @property
+    def max_segment_pages(self) -> int:
+        """Largest segment the manager will allocate."""
+        return self.options.max_segment_pages or self.config.max_segment_pages
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, data: bytes = b"") -> int:
+        page_id = self.env.areas.meta.allocate(1)
+        descriptor = LongFieldDescriptor(page_id, self.config)
+        self._fields[page_id] = descriptor
+        with self._op(descriptor):
+            if data:
+                self._create_known_size(descriptor, data)
+        return page_id
+
+    def _create_known_size(
+        self, descriptor: LongFieldDescriptor, data: bytes
+    ) -> None:
+        """Lay out a field whose size is known in advance: maximum-size
+        segments are used to hold it, and the last segment is trimmed."""
+        page_size = self.config.page_size
+        capacity = self.max_segment_pages * page_size
+        position = 0
+        while position < len(data):
+            chunk = data[position : position + capacity]
+            pages = -(-len(chunk) // page_size)
+            segment = self._allocate_segment(pages)
+            segment.used_bytes = len(chunk)
+            descriptor.check_capacity(len(descriptor.segments) + 1)
+            descriptor.segments.append(segment)
+            writer = _TailWriter(self, [segment])
+            staging = self.config.staging_buffer_bytes
+            for start in range(0, len(chunk), staging):
+                writer.write(chunk[start : start + staging])
+            position += len(chunk)
+
+    def destroy(self, oid: int) -> None:
+        descriptor = self._descriptor(oid)
+        for segment in descriptor.segments:
+            self.env.areas.data.free(segment.page_id, segment.alloc_pages)
+        self.env.areas.meta.free(descriptor.page_id, 1)
+        del self._fields[oid]
+
+    def size(self, oid: int) -> int:
+        return self._descriptor(oid).total_bytes
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        descriptor = self._descriptor(oid)
+        self._check_range(oid, offset, nbytes)
+        if nbytes == 0:
+            return b""
+        self._touch_descriptor(descriptor)
+        index, within = descriptor.locate(offset)
+        pieces = []
+        remaining = nbytes
+        while remaining > 0:
+            segment = descriptor.segments[index]
+            take = min(segment.used_bytes - within, remaining)
+            pieces.append(
+                self.env.segio.read_boundary_unaligned(
+                    segment.page_id, within, take
+                )
+            )
+            remaining -= take
+            within = 0
+            index += 1
+        return b"".join(pieces)
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def append(self, oid: int, data: bytes) -> None:
+        descriptor = self._descriptor(oid)
+        if not data:
+            return
+        with self._op(descriptor):
+            self._touch_descriptor(descriptor)
+            remaining = memoryview(bytes(data))
+            if descriptor.segments:
+                last = descriptor.segments[-1]
+                filled = self._fill_segment(last, bytes(remaining))
+                remaining = remaining[filled:]
+                if remaining and last.alloc_pages != self._pattern_for_last(
+                    descriptor
+                ):
+                    # The last segment was trimmed: the descriptor's implicit
+                    # sizing forces it back onto the growth pattern (a copy
+                    # to a pattern-size segment) before the field can grow.
+                    self._untrim_last(descriptor)
+                    filled = self._fill_segment(
+                        descriptor.segments[-1], bytes(remaining)
+                    )
+                    remaining = remaining[filled:]
+            while remaining:
+                if descriptor.segments:
+                    pages = self._pattern_for_last(descriptor,
+                                                   next_segment=True)
+                else:
+                    # The first segment is sized by the first append; it
+                    # anchors the doubling pattern.
+                    pages = min(
+                        self.config.pages_for_bytes(len(remaining)),
+                        self.max_segment_pages,
+                    )
+                segment = self._allocate_segment(pages)
+                descriptor.check_capacity(len(descriptor.segments) + 1)
+                descriptor.segments.append(segment)
+                filled = self._fill_segment(segment, bytes(remaining))
+                remaining = remaining[filled:]
+
+    def trim(self, oid: int) -> None:
+        """Trim the last segment: free its unused blocks at the right end."""
+        descriptor = self._descriptor(oid)
+        with self._op(descriptor):
+            self._trim_last(descriptor)
+
+    # ------------------------------------------------------------------
+    # Length-changing updates
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, offset: int, data: bytes) -> None:
+        descriptor = self._descriptor(oid)
+        self._check_offset(oid, offset)
+        if not data:
+            return
+        if not descriptor.segments or offset == descriptor.total_bytes:
+            self.append(oid, data)
+            return
+        with self._op(descriptor):
+            self._touch_descriptor(descriptor)
+            index, within = descriptor.locate(offset)
+            start = descriptor.segment_start(index)
+            self._rewrite_tail(
+                descriptor,
+                first_index=index,
+                splice_at=offset - start,
+                insert_data=data,
+                delete_bytes=0,
+            )
+
+    def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        descriptor = self._descriptor(oid)
+        self._check_range(oid, offset, nbytes)
+        if nbytes == 0:
+            return
+        with self._op(descriptor):
+            self._touch_descriptor(descriptor)
+            index, within = descriptor.locate(offset)
+            start = descriptor.segment_start(index)
+            self._rewrite_tail(
+                descriptor,
+                first_index=index,
+                splice_at=offset - start,
+                insert_data=b"",
+                delete_bytes=nbytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Replace
+    # ------------------------------------------------------------------
+    def replace(self, oid: int, offset: int, data: bytes) -> None:
+        descriptor = self._descriptor(oid)
+        self._check_range(oid, offset, len(data))
+        if not data:
+            return
+        with self._op(descriptor):
+            self._touch_descriptor(descriptor)
+            index, within = descriptor.locate(offset)
+            remaining = memoryview(bytes(data))
+            while remaining:
+                segment = descriptor.segments[index]
+                take = min(segment.used_bytes - within, len(remaining))
+                self._replace_in_segment(
+                    descriptor, index, within, bytes(remaining[:take])
+                )
+                remaining = remaining[take:]
+                within = 0
+                index += 1
+
+    def _replace_in_segment(
+        self,
+        descriptor: LongFieldDescriptor,
+        index: int,
+        position: int,
+        data: bytes,
+    ) -> None:
+        segment = descriptor.segments[index]
+        if self.env.shadow.overwrite_needs_new_segment():
+            content = self.env.segio.read_pages(
+                segment.page_id, segment.used_pages(self.config.page_size)
+            )[: segment.used_bytes]
+            patched = content[:position] + data + content[position + len(data):]
+            new_segment = self._allocate_segment(segment.alloc_pages)
+            new_segment.used_bytes = segment.used_bytes
+            self.env.segio.write_pages(new_segment.page_id, patched)
+            self.env.areas.data.free(segment.page_id, segment.alloc_pages)
+            descriptor.segments[index] = new_segment
+        else:
+            page_size = self.config.page_size
+            first = position // page_size
+            last = (position + len(data) - 1) // page_size
+            old = self.env.segio.read_pages(
+                segment.page_id + first, last - first + 1
+            )
+            lo = position - first * page_size
+            patched = old[:lo] + data + old[lo + len(data) :]
+            self.env.segio.write_pages(segment.page_id + first, patched)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def allocated_pages(self, oid: int) -> int:
+        descriptor = self._descriptor(oid)
+        return 1 + sum(s.alloc_pages for s in descriptor.segments)
+
+    def descriptor_of(self, oid: int) -> LongFieldDescriptor:
+        """The long field descriptor (for tests and inspection)."""
+        return self._descriptor(oid)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _descriptor(self, oid: int) -> LongFieldDescriptor:
+        try:
+            return self._fields[oid]
+        except KeyError:
+            raise self._missing(oid) from None
+
+    @contextlib.contextmanager
+    def _op(self, descriptor: LongFieldDescriptor):
+        yield
+        self._flush_descriptor(descriptor)
+
+    def _touch_descriptor(self, descriptor: LongFieldDescriptor) -> None:
+        """Access the long field descriptor.
+
+        The descriptor lives in the small object that owns the long field
+        (Section 2.2); like the ESM/EOS root page, its accesses are not
+        charged as large-object I/O (Starburst's 100-byte read in Table 2
+        costs exactly one data-page access).
+        """
+
+    def _flush_descriptor(self, descriptor: LongFieldDescriptor) -> None:
+        """Keep the descriptor's disk image current, without I/O charges."""
+        data = descriptor.serialize(DATA_AREA_BASE)
+        self.env.pool.disk.poke_pages(descriptor.page_id, data)
+        self.env.pool.update_if_resident(descriptor.page_id, data)
+
+    def _allocate_segment(self, alloc_pages: int) -> Segment:
+        page_id = self.env.areas.data.allocate(alloc_pages)
+        return Segment(page_id=page_id, alloc_pages=alloc_pages, used_bytes=0)
+
+    def _pattern_for_last(
+        self, descriptor: LongFieldDescriptor, next_segment: bool = False
+    ) -> int:
+        """Pattern size of the last segment (or of the one after it)."""
+        index = len(descriptor.segments) - 1
+        if next_segment:
+            index += 1
+        pattern = descriptor.pattern_pages_at(max(index, 0))
+        return min(pattern, self.max_segment_pages)
+
+    def _fill_segment(self, segment: Segment, data: bytes) -> int:
+        """Append into a segment's free capacity; returns bytes consumed."""
+        page_size = self.config.page_size
+        capacity = segment.capacity(page_size)
+        take = min(capacity - segment.used_bytes, len(data))
+        if take <= 0:
+            return 0
+        first_dirty = segment.used_bytes // page_size
+        within = segment.used_bytes - first_dirty * page_size
+        prefix = b""
+        if within:
+            page = self.env.segio.read_pages(segment.page_id + first_dirty, 1)
+            prefix = page[:within]
+        self.env.segio.write_pages(
+            segment.page_id + first_dirty, prefix + data[:take]
+        )
+        segment.used_bytes += take
+        return take
+
+    def _trim_last(self, descriptor: LongFieldDescriptor) -> None:
+        if not descriptor.segments:
+            return
+        last = descriptor.segments[-1]
+        page_size = self.config.page_size
+        used_pages = last.used_pages(page_size)
+        if last.alloc_pages > used_pages:
+            self.env.areas.data.free(
+                last.page_id + used_pages, last.alloc_pages - used_pages
+            )
+            last.alloc_pages = used_pages
+
+    def _untrim_last(self, descriptor: LongFieldDescriptor) -> None:
+        """Copy a trimmed last segment back onto the growth pattern."""
+        last = descriptor.segments[-1]
+        pattern = self._pattern_for_last(descriptor)
+        if last.alloc_pages == pattern:
+            return
+        content = self.env.segio.read_pages(
+            last.page_id, last.used_pages(self.config.page_size)
+        )[: last.used_bytes]
+        new_segment = self._allocate_segment(pattern)
+        new_segment.used_bytes = last.used_bytes
+        self.env.segio.write_pages(new_segment.page_id, content)
+        self.env.areas.data.free(last.page_id, last.alloc_pages)
+        descriptor.segments[-1] = new_segment
+
+    # ------------------------------------------------------------------
+    # Tail rewriting (the expensive path)
+    # ------------------------------------------------------------------
+    def _rewrite_tail(
+        self,
+        descriptor: LongFieldDescriptor,
+        first_index: int,
+        splice_at: int,
+        insert_data: bytes,
+        delete_bytes: int,
+    ) -> None:
+        """Copy segments ``first_index..end`` into a new set of segments,
+        splicing an insertion or skipping a deletion, through the staging
+        buffer (Section 3.5)."""
+        old_segments = descriptor.segments[first_index:]
+        old_tail_bytes = sum(s.used_bytes for s in old_segments)
+        new_tail_bytes = old_tail_bytes + len(insert_data) - delete_bytes
+        new_segments = self._plan_tail(descriptor, first_index, new_tail_bytes)
+        descriptor.check_capacity(first_index + len(new_segments))
+
+        reader = _TailReader(
+            self, old_segments, splice_at, insert_data, delete_bytes
+        )
+        writer = _TailWriter(self, new_segments)
+        staging = self.config.staging_buffer_bytes
+        remaining = new_tail_bytes
+        while remaining > 0:
+            chunk = reader.read(min(staging, remaining))
+            writer.write(chunk)
+            remaining -= len(chunk)
+
+        for segment in old_segments:
+            self.env.areas.data.free(segment.page_id, segment.alloc_pages)
+        descriptor.segments[first_index:] = new_segments
+        self._trim_last(descriptor)
+
+    def _plan_tail(
+        self, descriptor: LongFieldDescriptor, first_index: int, nbytes: int
+    ) -> list[Segment]:
+        """Allocate new tail segments continuing the growth pattern."""
+        page_size = self.config.page_size
+        segments: list[Segment] = []
+        index = first_index
+        remaining = nbytes
+        while remaining > 0:
+            pattern = min(
+                descriptor.pattern_pages_at(index), self.max_segment_pages
+            )
+            capacity = pattern * page_size
+            if remaining <= capacity:
+                pages = -(-remaining // page_size)
+                segment = self._allocate_segment(pages)
+                segment.used_bytes = remaining
+                remaining = 0
+            else:
+                segment = self._allocate_segment(pattern)
+                segment.used_bytes = capacity
+                remaining -= capacity
+            segments.append(segment)
+            index += 1
+        return segments
+
+
+class _TailReader:
+    """Streams the spliced byte sequence of a tail rewrite.
+
+    Reading is charged per (segment, staging-chunk) intersection: copying
+    the long field "for all practical purposes ... can not be copied in
+    two steps" (Section 4.4.3), so each staging chunk costs one read call
+    per old segment it overlaps.
+    """
+
+    def __init__(
+        self,
+        manager: StarburstManager,
+        old_segments: list[Segment],
+        splice_at: int,
+        insert_data: bytes,
+        delete_bytes: int,
+    ) -> None:
+        self._manager = manager
+        self._segments = old_segments
+        total_old = sum(s.used_bytes for s in old_segments)
+        #: Ordered source pieces: ("old", start, length) or ("mem", bytes).
+        self._pieces: list[tuple] = []
+        if splice_at > 0:
+            self._pieces.append(("old", 0, splice_at))
+        if insert_data:
+            self._pieces.append(("mem", insert_data))
+        after = splice_at + delete_bytes
+        if after < total_old:
+            self._pieces.append(("old", after, total_old - after))
+        self._piece_index = 0
+        self._piece_done = 0
+
+    def read(self, nbytes: int) -> bytes:
+        chunks: list[bytes] = []
+        got = 0
+        while got < nbytes and self._piece_index < len(self._pieces):
+            piece = self._pieces[self._piece_index]
+            if piece[0] == "mem":
+                data = piece[1]
+                take = min(nbytes - got, len(data) - self._piece_done)
+                chunks.append(data[self._piece_done : self._piece_done + take])
+            else:
+                _kind, start, length = piece
+                take = min(nbytes - got, length - self._piece_done)
+                chunks.append(self._read_old(start + self._piece_done, take))
+            self._piece_done += take
+            got += take
+            piece_length = (
+                len(piece[1]) if piece[0] == "mem" else piece[2]
+            )
+            if self._piece_done == piece_length:
+                self._piece_index += 1
+                self._piece_done = 0
+        return b"".join(chunks)
+
+    def _read_old(self, position: int, nbytes: int) -> bytes:
+        """Read the old tail's byte range, one call per segment touched."""
+        chunks = []
+        remaining = nbytes
+        start = 0
+        for segment in self._segments:
+            end = start + segment.used_bytes
+            if position < end and remaining > 0:
+                within = position - start
+                take = min(end - position, remaining)
+                chunks.append(
+                    self._manager.env.segio.read_boundary_unaligned(
+                        segment.page_id, within, take
+                    )
+                )
+                position += take
+                remaining -= take
+            start = end
+            if remaining <= 0:
+                break
+        return b"".join(chunks)
+
+
+class _TailWriter:
+    """Streams staging chunks into the freshly allocated tail segments."""
+
+    def __init__(self, manager: StarburstManager, segments: list[Segment]) -> None:
+        self._manager = manager
+        self._segments = segments
+        self._index = 0
+        self._written_in_segment = 0
+
+    def write(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            segment = self._segments[self._index]
+            room = segment.used_bytes - self._written_in_segment
+            take = min(room, len(view))
+            page_size = self._manager.config.page_size
+            first_dirty = self._written_in_segment // page_size
+            within = self._written_in_segment - first_dirty * page_size
+            prefix = b""
+            if within:
+                page = self._manager.env.segio.read_pages(
+                    segment.page_id + first_dirty, 1
+                )
+                prefix = page[:within]
+            self._manager.env.segio.write_pages(
+                segment.page_id + first_dirty, prefix + bytes(view[:take])
+            )
+            self._written_in_segment += take
+            view = view[take:]
+            if self._written_in_segment == segment.used_bytes:
+                self._index += 1
+                self._written_in_segment = 0

@@ -1,0 +1,118 @@
+"""Shared behaviour of the tree-backed managers (ESM and EOS).
+
+The paper's prototypes share the code that manipulates index nodes; here
+the two managers additionally share object bookkeeping, reads, and
+accounting, and differ in their leaf policies (fixed-size leaves vs.
+variable-size threshold-constrained segments).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.buddy.area import DATA_AREA_BASE
+from repro.core.env import StorageEnvironment
+from repro.core.manager import LargeObjectManager
+from repro.tree.node import LeafExtent
+from repro.tree.tree import PositionalTree
+
+
+class TreeBackedManager(LargeObjectManager):
+    """Base class for managers whose objects are positional trees."""
+
+    def __init__(self, env: StorageEnvironment) -> None:
+        super().__init__(env)
+        self._objects: dict[int, PositionalTree] = {}
+
+    # ------------------------------------------------------------------
+    # Leaf policy hook
+    # ------------------------------------------------------------------
+    def _leaf_alloc_pages(self, used_bytes: int, is_rightmost: bool) -> int:
+        """Allocated pages of a segment holding ``used_bytes`` bytes."""
+        return -(-used_bytes // self.config.page_size)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, data: bytes = b"") -> int:
+        tree = PositionalTree(
+            self.config,
+            self.env.pool,
+            self.env.areas.meta,
+            data_base=DATA_AREA_BASE,
+            shadow=self.env.shadow,
+            leaf_alloc_pages=self._leaf_alloc_pages,
+        )
+        oid = tree.create()
+        self._objects[oid] = tree
+        with self._op(tree):
+            if data:
+                self._extend_fresh(tree, data)
+        return oid
+
+    def destroy(self, oid: int) -> None:
+        tree = self._tree(oid)
+        for extent in tree.destroy():
+            self.env.areas.data.free(extent.page_id, extent.alloc_pages)
+        del self._objects[oid]
+
+    def size(self, oid: int) -> int:
+        return self._tree(oid).total_bytes
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        tree = self._tree(oid)
+        self._check_range(oid, offset, nbytes)
+        if nbytes == 0:
+            return b""
+        pieces = []
+        for extent, start in tree.extents_covering(offset, nbytes):
+            lo = max(offset, start) - start
+            hi = min(offset + nbytes, start + extent.used_bytes) - start
+            pieces.append(self._read_extent(extent, lo, hi - lo))
+        return b"".join(pieces)
+
+    def _read_extent(self, extent: LeafExtent, start: int, nbytes: int) -> bytes:
+        """Read bytes from one segment under the hybrid buffering policy."""
+        if nbytes == 0:
+            return b""
+        return self.env.segio.read_boundary_unaligned(
+            extent.page_id, start, nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def allocated_pages(self, oid: int) -> int:
+        tree = self._tree(oid)
+        leaf_pages = sum(
+            extent.alloc_pages for extent in tree.iter_extents(charged=False)
+        )
+        return leaf_pages + tree.index_page_count()
+
+    def tree_of(self, oid: int) -> PositionalTree:
+        """The object's positional tree (for tests and inspection)."""
+        return self._tree(oid)
+
+    # ------------------------------------------------------------------
+    # Internals shared by subclasses
+    # ------------------------------------------------------------------
+    def _tree(self, oid: int) -> PositionalTree:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise self._missing(oid) from None
+
+    @contextlib.contextmanager
+    def _op(self, tree: PositionalTree):
+        tree.begin_op()
+        try:
+            yield
+        finally:
+            tree.end_op()
+
+    def _extend_fresh(self, tree: PositionalTree, data: bytes) -> None:
+        """Lay brand-new bytes out at the end of an (empty) object."""
+        raise NotImplementedError

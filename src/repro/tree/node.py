@@ -1,0 +1,177 @@
+"""Index nodes and leaf extents of the positional count tree (Section 2.1).
+
+Each node holds a sequence of (count, pointer) pairs.  On disk the counts
+are cumulative, exactly as in the paper's Figure 1; in memory we keep the
+per-child byte counts, which makes updates simpler.  A pair occupies 8
+bytes (4-byte count + 4-byte pointer), so a 4 KB root holds up to 507
+pairs and a 4 KB internal page holds 511 (Section 4.1).
+
+Level-1 nodes (the lowest index level) point at *leaf extents* — the data
+segments themselves.  Higher levels point at child index pages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.core.config import SystemConfig
+from repro.core.errors import StorageCorruptionError
+
+_NODE_HEADER = struct.Struct("<2sBBHH")  # magic, level, flags, n_entries, pad
+_ROOT_HEADER = struct.Struct("<2sBBHHQIQQI")  # + total_bytes, rightmost_alloc, rsvd
+_PAIR = struct.Struct("<II")
+
+_NODE_MAGIC = b"IN"
+_ROOT_MAGIC = b"RT"
+
+
+@dataclasses.dataclass
+class LeafExtent:
+    """One data segment referenced by a level-1 index node.
+
+    Attributes
+    ----------
+    page_id:
+        Global page id of the segment's first page.
+    used_bytes:
+        Bytes of the object stored in this segment (the pair's count).
+    alloc_pages:
+        Pages currently allocated to the segment.  For ESM this is the
+        fixed leaf size; for EOS it equals ``ceil(used_bytes / page_size)``
+        except possibly for the rightmost segment, which may carry
+        untrimmed append slack.
+    """
+
+    page_id: int
+    used_bytes: int
+    alloc_pages: int
+
+    def used_pages(self, page_size: int) -> int:
+        """Pages of the segment that contain useful bytes."""
+        return -(-self.used_bytes // page_size)
+
+    def free_bytes(self, page_size: int) -> int:
+        """Unused capacity within the allocated pages."""
+        return self.alloc_pages * page_size - self.used_bytes
+
+
+@dataclasses.dataclass
+class Entry:
+    """An in-memory (count, pointer) pair of an index node."""
+
+    bytes_count: int
+    #: Child index page id (internal node) or a LeafExtent (level-1 node).
+    ref: "int | LeafExtent"
+
+
+class IndexNode:
+    """One index page of the positional tree."""
+
+    def __init__(self, page_id: int, level: int) -> None:
+        if level < 1:
+            raise ValueError("index node level starts at 1")
+        self.page_id = page_id
+        self.level = level
+        self.entries: list[Entry] = []
+        #: Set while the node has unflushed changes in the current operation.
+        self.dirty = False
+        #: Set once the node has been relocated (shadowed) in the current op.
+        self.shadowed_this_op = False
+
+    @property
+    def is_leaf_parent(self) -> bool:
+        """True if this node's entries reference data segments."""
+        return self.level == 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes stored in the subtree rooted at this node."""
+        return sum(entry.bytes_count for entry in self.entries)
+
+    def entry_bytes(self) -> list[int]:
+        """Per-child byte counts, in order."""
+        return [entry.bytes_count for entry in self.entries]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def serialize(self, config: SystemConfig, *, is_root: bool,
+                  total_bytes: int = 0, rightmost_alloc: int = 0,
+                  data_base: int, meta_base: int) -> bytes:
+        """Encode the node as page content with cumulative counts."""
+        if is_root:
+            header = _ROOT_HEADER.pack(
+                _ROOT_MAGIC, self.level, 0, len(self.entries), 0,
+                total_bytes, rightmost_alloc, 0, 0, 0,
+            )
+        else:
+            header = _NODE_HEADER.pack(
+                _NODE_MAGIC, self.level, 0, len(self.entries), 0
+            )
+        parts = [header]
+        cumulative = 0
+        base = data_base if self.is_leaf_parent else meta_base
+        for entry in self.entries:
+            cumulative += entry.bytes_count
+            ptr = entry.ref.page_id if self.is_leaf_parent else entry.ref
+            parts.append(_PAIR.pack(cumulative, ptr - base))
+        page = b"".join(parts)
+        if len(page) > config.page_size:
+            raise StorageCorruptionError(
+                f"index node with {len(self.entries)} entries overflows page"
+            )
+        return page.ljust(config.page_size, b"\x00")
+
+    @classmethod
+    def deserialize(cls, data: bytes, page_id: int, *, is_root: bool,
+                    data_base: int, meta_base: int,
+                    leaf_alloc_pages) -> "tuple[IndexNode, int, int]":
+        """Decode page content back into a node.
+
+        ``leaf_alloc_pages(used_bytes, is_rightmost)`` supplies the
+        allocated page count of each referenced segment (it depends on the
+        storage scheme).  Returns ``(node, total_bytes, rightmost_alloc)``;
+        the last two are meaningful only for the root.
+        """
+        if is_root:
+            magic, level, _flags, n, _pad, total, rightmost_alloc, _r1, _r2, _r3 = (
+                _ROOT_HEADER.unpack_from(data)
+            )
+            if magic != _ROOT_MAGIC:
+                raise StorageCorruptionError("not a root page")
+            offset = _ROOT_HEADER.size
+        else:
+            magic, level, _flags, n, _pad = _NODE_HEADER.unpack_from(data)
+            if magic != _NODE_MAGIC:
+                raise StorageCorruptionError("not an index page")
+            total, rightmost_alloc = 0, 0
+            offset = _NODE_HEADER.size
+        node = cls(page_id, max(level, 1))
+        base = data_base if node.is_leaf_parent else meta_base
+        previous = 0
+        for i in range(n):
+            cumulative, ptr = _PAIR.unpack_from(data, offset + i * _PAIR.size)
+            count = cumulative - previous
+            previous = cumulative
+            if node.is_leaf_parent:
+                is_rightmost = is_root and i == n - 1
+                extent = LeafExtent(
+                    page_id=base + ptr,
+                    used_bytes=count,
+                    alloc_pages=leaf_alloc_pages(count, is_rightmost),
+                )
+                node.entries.append(Entry(count, extent))
+            else:
+                node.entries.append(Entry(count, base + ptr))
+        return node, total, rightmost_alloc
+
+
+def root_header_size() -> int:
+    """Bytes of the root-page header (must match config.ROOT_HEADER_BYTES)."""
+    return _ROOT_HEADER.size
+
+
+def node_header_size() -> int:
+    """Bytes of a non-root index-page header (must match NODE_HEADER_BYTES)."""
+    return _NODE_HEADER.size

@@ -1,0 +1,804 @@
+"""The positional count tree shared by ESM and EOS (Sections 2.1, 2.3, 3.4).
+
+The tree is a B+-tree-like structure whose nodes hold (count, pointer)
+pairs; descending by byte offset locates the data segment holding any byte
+in time independent of the object size.  As in B-trees, internal nodes are
+required to be at least half full.  The code that manipulates index nodes
+— split, merge, rotate, adding and deleting pairs — is shared between the
+ESM and EOS managers, exactly as in the paper's prototypes; the managers
+differ only in how they produce and consume *leaf extents*.
+
+Index-page I/O is charged through the buffer pool (a node visit fixes its
+page), and index-page updates follow the shadowing policy of Section 3.3:
+every modified node except the root moves to a freshly allocated page, and
+all modified pages are flushed at the end of the operation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.buddy.allocator import BuddyAllocator
+from repro.buffer.pool import BufferPool
+from repro.core.config import SystemConfig
+from repro.core.errors import ByteRangeError, StorageCorruptionError
+from repro.recovery.shadow import DEFAULT_SHADOW, ShadowPolicy
+from repro.tree.node import Entry, IndexNode, LeafExtent
+
+#: Signature of the hook that recomputes a segment's allocated page count
+#: when a node is rebuilt from disk: (used_bytes, is_rightmost) -> pages.
+LeafAllocFn = Callable[[int, bool], int]
+
+
+@dataclasses.dataclass
+class Cursor:
+    """Result of locating a byte offset: the extent holding it.
+
+    ``path`` records the descent as (node, child index) pairs from the
+    root down to the leaf-parent node, so mutations can propagate counts
+    and shadowing upward without a second descent.
+    """
+
+    extent: LeafExtent
+    extent_start: int
+    path: list[tuple[IndexNode, int]]
+
+    @property
+    def leaf_parent(self) -> IndexNode:
+        """The level-1 node holding the located extent's entry."""
+        return self.path[-1][0]
+
+    @property
+    def entry_index(self) -> int:
+        """Index of the extent's entry within the leaf parent."""
+        return self.path[-1][1]
+
+
+class PositionalTree:
+    """Positional B+-tree mapping byte offsets to leaf extents."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pool: BufferPool,
+        meta: BuddyAllocator,
+        data_base: int,
+        shadow: ShadowPolicy = DEFAULT_SHADOW,
+        leaf_alloc_pages: LeafAllocFn | None = None,
+    ) -> None:
+        self.config = config
+        self.pool = pool
+        self.meta = meta
+        self.data_base = data_base
+        self.shadow = shadow
+        self.leaf_alloc_pages = leaf_alloc_pages or (
+            lambda used, _rightmost: -(-used // config.page_size)
+        )
+        self.root_page_id: int | None = None
+        self.height = 0
+        self.total_bytes = 0
+        self._nodes: dict[int, IndexNode] = {}
+        self._dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self) -> int:
+        """Allocate the root page (one page, alone) for a new empty object."""
+        if self.root_page_id is not None:
+            raise StorageCorruptionError("tree already created")
+        self.root_page_id = self.meta.allocate(1)
+        root = IndexNode(self.root_page_id, level=1)
+        self._nodes[self.root_page_id] = root
+        self.height = 1
+        self._mark_node_dirty(root)
+        return self.root_page_id
+
+    def destroy(self) -> list[LeafExtent]:
+        """Free every index page; returns the extents for the caller to free."""
+        extents = list(self.iter_extents(charged=False))
+        for node in list(self._walk_nodes()):
+            if node.page_id != self.root_page_id:
+                self.meta.free(node.page_id, 1)
+        assert self.root_page_id is not None
+        self.meta.free(self.root_page_id, 1)
+        self._nodes.clear()
+        self._dirty.clear()
+        self.root_page_id = None
+        self.height = 0
+        self.total_bytes = 0
+        return extents
+
+    # ------------------------------------------------------------------
+    # Operation brackets
+    # ------------------------------------------------------------------
+    def begin_op(self) -> None:
+        """Start a logical operation; resets per-operation shadow marks."""
+        for page_id in self._dirty:
+            self._nodes[page_id].shadowed_this_op = False
+
+    def end_op(self) -> None:
+        """Flush every index page modified by the operation (Section 3.3).
+
+        The root is exempt: it lives with the object descriptor in the
+        small object and is not charged as index-page I/O (the paper's
+        Starburst 100-byte read costs exactly one data-page access, and
+        level-1 appends have "no index pages to write").  Its disk image
+        is still kept current, without cost, so (de)serialization and
+        crash-free reopen paths stay exercised.
+        """
+        if not self._dirty:
+            return
+        root_dirty = self.root_page_id in self._dirty
+        self._dirty.discard(self.root_page_id)
+        self._flush_non_root()
+        if root_dirty:
+            # The root write is the operation's commit point: it lands
+            # only after every shadowed index page is safely on disk.
+            root = self._nodes[self.root_page_id]
+            self.pool.disk.poke_pages(
+                self.root_page_id, self._serialize_node(root)
+            )
+            self.pool.update_if_resident(
+                self.root_page_id,
+                self.pool.disk.peek_pages(self.root_page_id, 1),
+            )
+            root.dirty = False
+            root.shadowed_this_op = False
+
+    def _flush_non_root(self) -> None:
+        if not self._dirty:
+            return
+        dirty_ids = sorted(self._dirty)
+        runs: list[tuple[int, int]] = []
+        for page_id in dirty_ids:
+            if runs and runs[-1][0] + runs[-1][1] == page_id:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((page_id, 1))
+        for run_start, run_len in runs:
+            data = b"".join(
+                self._serialize_node(self._nodes[run_start + i])
+                for i in range(run_len)
+            )
+            self.pool.disk.write_pages(run_start, run_len, data, record=True)
+            page_size = self.config.page_size
+            for i in range(run_len):
+                node = self._nodes[run_start + i]
+                node.dirty = False
+                node.shadowed_this_op = False
+                self.pool.update_if_resident(
+                    run_start + i, data[i * page_size : (i + 1) * page_size]
+                )
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def locate(self, offset: int) -> Cursor:
+        """Find the leaf extent containing byte ``offset``.
+
+        ``offset == total_bytes`` is allowed and yields the rightmost
+        extent (the append position).  Charges one index-page access per
+        level through the buffer pool.
+        """
+        if self.root_page_id is None:
+            raise StorageCorruptionError("tree not created")
+        if not 0 <= offset <= self.total_bytes:
+            raise ByteRangeError(
+                f"offset {offset} outside object of {self.total_bytes} bytes"
+            )
+        node = self._get_node(self.root_page_id)
+        if not node.entries:
+            raise ByteRangeError("object is empty")
+        path: list[tuple[IndexNode, int]] = []
+        start = 0
+        while True:
+            index, child_start = _choose_child(node, offset - start)
+            start += child_start
+            path.append((node, index))
+            entry = node.entries[index]
+            if node.is_leaf_parent:
+                assert isinstance(entry.ref, LeafExtent)
+                return Cursor(extent=entry.ref, extent_start=start, path=path)
+            node = self._get_node(entry.ref)
+
+    def extents_covering(
+        self, offset: int, nbytes: int
+    ) -> list[tuple[LeafExtent, int]]:
+        """All (extent, extent_start) pairs overlapping the byte range."""
+        if nbytes <= 0:
+            return []
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ByteRangeError(
+                f"range [{offset}, {offset + nbytes}) outside object of "
+                f"{self.total_bytes} bytes"
+            )
+        cursor = self.locate(offset)
+        result = [(cursor.extent, cursor.extent_start)]
+        end = offset + nbytes
+        position = cursor.extent_start + cursor.extent.used_bytes
+        path = list(cursor.path)
+        while position < end:
+            step = self._advance(path)
+            if step is None:
+                raise StorageCorruptionError("ran off the end of the tree")
+            extent, extent_start = step
+            result.append((extent, extent_start))
+            position = extent_start + extent.used_bytes
+        return result
+
+    def neighbors(
+        self, cursor: Cursor
+    ) -> tuple[LeafExtent | None, LeafExtent | None]:
+        """The extents logically adjacent to the cursor's extent."""
+        left = None
+        right = None
+        if cursor.extent_start > 0:
+            left = self.locate(cursor.extent_start - 1).extent
+        end = cursor.extent_start + cursor.extent.used_bytes
+        if end < self.total_bytes:
+            right = self.locate(end).extent
+        return left, right
+
+    def iter_extents(self, charged: bool = True) -> Iterator[LeafExtent]:
+        """Iterate every leaf extent left to right.
+
+        With ``charged=True`` index pages are accessed through the buffer
+        pool (as a sequential scan would); ``charged=False`` walks the
+        in-memory structure free of cost, for verification and accounting.
+        """
+        if self.root_page_id is None or self.total_bytes == 0:
+            root = (
+                self._nodes.get(self.root_page_id)
+                if self.root_page_id is not None
+                else None
+            )
+            if root is None or not root.entries:
+                return
+        if charged:
+            cursor = self.locate(0)
+            yield cursor.extent
+            path = list(cursor.path)
+            while True:
+                step = self._advance(path)
+                if step is None:
+                    return
+                yield step[0]
+        else:
+            yield from self._iter_extents_uncharged(
+                self._peek_node(self.root_page_id)
+            )
+
+    def last_extent(self) -> tuple[LeafExtent, int] | None:
+        """The rightmost extent and its start offset, or None if empty."""
+        if self.root_page_id is None or self.total_bytes == 0:
+            return None
+        cursor = self.locate(self.total_bytes)
+        return cursor.extent, cursor.extent_start
+
+    @property
+    def extent_count(self) -> int:
+        """Number of leaf extents (uncharged; for accounting and tests)."""
+        return sum(1 for _ in self.iter_extents(charged=False))
+
+    def index_page_count(self) -> int:
+        """Number of index pages including the root (uncharged)."""
+        return sum(1 for _ in self._walk_nodes())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def update_extent(
+        self,
+        cursor: Cursor,
+        used_bytes: int | None = None,
+        page_id: int | None = None,
+        alloc_pages: int | None = None,
+    ) -> None:
+        """Mutate the cursor's extent in place (size, location, or both).
+
+        Byte-count changes propagate up the recorded path; the path's
+        nodes are shadowed and marked dirty.
+        """
+        extent = cursor.extent
+        delta = 0
+        if used_bytes is not None:
+            if used_bytes <= 0:
+                raise ByteRangeError("an extent must keep at least one byte")
+            delta = used_bytes - extent.used_bytes
+            extent.used_bytes = used_bytes
+        if page_id is not None:
+            extent.page_id = page_id
+        if alloc_pages is not None:
+            extent.alloc_pages = alloc_pages
+        node, index = cursor.path[-1]
+        node.entries[index].bytes_count = extent.used_bytes
+        if delta:
+            for ancestor, child_index in cursor.path[:-1]:
+                ancestor.entries[child_index].bytes_count += delta
+            self.total_bytes += delta
+        self._shadow_path(cursor.path)
+
+    def append_extent(self, extent: LeafExtent) -> None:
+        """Add an extent at the end of the object."""
+        self._insert_extent_at(self.total_bytes, extent)
+
+    def replace_span(
+        self, span_start: int, span_bytes: int, new_extents: list[LeafExtent]
+    ) -> None:
+        """Replace the extents exactly tiling a byte span with new ones.
+
+        ``span_start`` must be an extent boundary and the span must end on
+        an extent boundary.  This is the single index-maintenance entry
+        point used for splits, merges, redistributions, and removals; the
+        net byte delta adjusts the object size.
+        """
+        for extent in new_extents:
+            if extent.used_bytes <= 0:
+                raise ByteRangeError("new extents must be non-empty")
+        removed = 0
+        while removed < span_bytes:
+            removed += self._delete_extent_at(span_start)
+        if removed != span_bytes:
+            raise StorageCorruptionError(
+                f"span of {span_bytes} bytes is not extent-aligned"
+            )
+        position = span_start
+        for extent in new_extents:
+            self._insert_extent_at(position, extent)
+            position += extent.used_bytes
+
+    # ------------------------------------------------------------------
+    # Insert / delete of single extent entries
+    # ------------------------------------------------------------------
+    def _insert_extent_at(self, position: int, extent: LeafExtent) -> None:
+        if self.root_page_id is None:
+            raise StorageCorruptionError("tree not created")
+        if not 0 <= position <= self.total_bytes:
+            raise ByteRangeError("insert position outside object")
+        root = self._get_node(self.root_page_id)
+        if not root.entries:
+            root.entries.append(Entry(extent.used_bytes, extent))
+            self.total_bytes += extent.used_bytes
+            self._mark_node_dirty(root)
+            return
+        # Descend to the leaf parent where the boundary at `position` lives.
+        path: list[tuple[IndexNode, int]] = []
+        node = root
+        start = 0
+        while not node.is_leaf_parent:
+            index, child_start = _choose_child(node, position - start,
+                                               for_boundary=True)
+            start += child_start
+            path.append((node, index))
+            node = self._get_node(node.entries[index].ref)
+        insert_at = _boundary_index(node, position - start)
+        node.entries.insert(insert_at, Entry(extent.used_bytes, extent))
+        for ancestor, child_index in path:
+            ancestor.entries[child_index].bytes_count += extent.used_bytes
+        self.total_bytes += extent.used_bytes
+        self._shadow_path(path + [(node, insert_at)])
+        self._fix_overflow(path, node)
+
+    def _delete_extent_at(self, position: int) -> int:
+        """Remove the extent starting exactly at ``position``; returns its
+        byte count."""
+        cursor = self.locate(position)
+        if cursor.extent_start != position:
+            raise StorageCorruptionError(
+                f"byte {position} is not an extent boundary"
+            )
+        node, index = cursor.path[-1]
+        removed = node.entries.pop(index)
+        for ancestor, child_index in cursor.path[:-1]:
+            ancestor.entries[child_index].bytes_count -= removed.bytes_count
+        self.total_bytes -= removed.bytes_count
+        self._shadow_path(cursor.path[:-1] + [(node, None)])
+        self._fix_underflow(cursor.path[:-1], node)
+        return removed.bytes_count
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def _max_fanout(self, node: IndexNode) -> int:
+        if node.page_id == self.root_page_id:
+            return self.config.root_fanout
+        return self.config.node_fanout
+
+    def _min_fanout(self, node: IndexNode) -> int:
+        if node.page_id == self.root_page_id:
+            return 0
+        # "At least half full" is measured against the root fanout: a root
+        # split must yield two legal children, and the root's page header
+        # is larger, so its fanout is the binding constraint.
+        return self.config.root_fanout // 2
+
+    def _fix_overflow(
+        self, path: list[tuple[IndexNode, int]], node: IndexNode
+    ) -> None:
+        while len(node.entries) > self._max_fanout(node):
+            if node.page_id == self.root_page_id:
+                self._split_root(node)
+                return
+            parent, child_index = path[-1]
+            sibling = self._new_node(node.level)
+            half = len(node.entries) // 2
+            sibling.entries = node.entries[half:]
+            node.entries = node.entries[:half]
+            parent.entries[child_index].bytes_count = node.total_bytes
+            parent.entries.insert(
+                child_index + 1, Entry(sibling.total_bytes, sibling.page_id)
+            )
+            self._mark_node_dirty(node)
+            self._mark_node_dirty(sibling)
+            self._shadow_path(path[:-1] + [(parent, None)])
+            node = parent
+            path = path[:-1]
+
+    def _split_root(self, root: IndexNode) -> None:
+        """Split an overfull root into two children, growing the height."""
+        left = self._new_node(root.level)
+        right = self._new_node(root.level)
+        half = len(root.entries) // 2
+        left.entries = root.entries[:half]
+        right.entries = root.entries[half:]
+        root.entries = [
+            Entry(left.total_bytes, left.page_id),
+            Entry(right.total_bytes, right.page_id),
+        ]
+        root.level += 1
+        self.height += 1
+        self._mark_node_dirty(left)
+        self._mark_node_dirty(right)
+        self._mark_node_dirty(root)
+
+    def _fix_underflow(
+        self, path: list[tuple[IndexNode, int]], node: IndexNode
+    ) -> None:
+        while True:
+            if node.page_id == self.root_page_id:
+                self._maybe_collapse_root(node)
+                return
+            if len(node.entries) >= self._min_fanout(node):
+                return
+            parent, child_index = path[-1]
+            merged = self._borrow_or_merge(parent, child_index, node)
+            if not merged:
+                return
+            node = parent
+            path = path[:-1]
+
+    def _borrow_or_merge(
+        self, parent: IndexNode, child_index: int, node: IndexNode
+    ) -> bool:
+        """Fix an underfull child; returns True if a merge removed an entry
+        from the parent (which may itself now be underfull)."""
+        left_sibling = (
+            self._get_node(parent.entries[child_index - 1].ref)
+            if child_index > 0
+            else None
+        )
+        right_sibling = (
+            self._get_node(parent.entries[child_index + 1].ref)
+            if child_index + 1 < len(parent.entries)
+            else None
+        )
+        minimum = self._min_fanout(node)
+        if left_sibling is not None and len(left_sibling.entries) > minimum:
+            self._relocate_if_needed(left_sibling, (parent, child_index - 1))
+            moved = left_sibling.entries.pop()
+            node.entries.insert(0, moved)
+            parent.entries[child_index - 1].bytes_count -= moved.bytes_count
+            parent.entries[child_index].bytes_count += moved.bytes_count
+            self._mark_node_dirty(left_sibling)
+            self._mark_node_dirty(node)
+            self._mark_node_dirty(parent)
+            return False
+        if right_sibling is not None and len(right_sibling.entries) > minimum:
+            self._relocate_if_needed(right_sibling, (parent, child_index + 1))
+            moved = right_sibling.entries.pop(0)
+            node.entries.append(moved)
+            parent.entries[child_index + 1].bytes_count -= moved.bytes_count
+            parent.entries[child_index].bytes_count += moved.bytes_count
+            self._mark_node_dirty(right_sibling)
+            self._mark_node_dirty(node)
+            self._mark_node_dirty(parent)
+            return False
+        # Merge with a sibling (prefer left).
+        if left_sibling is not None:
+            keeper, victim = left_sibling, node
+            keeper_index = child_index - 1
+        elif right_sibling is not None:
+            keeper, victim = node, right_sibling
+            keeper_index = child_index
+        else:
+            # Only child: nothing to merge with; tolerated under the
+            # B-tree rules only while the parent is the root.
+            return False
+        self._relocate_if_needed(keeper, (parent, keeper_index))
+        keeper.entries.extend(victim.entries)
+        parent.entries[keeper_index].bytes_count = keeper.total_bytes
+        parent.entries.pop(keeper_index + 1)
+        self._drop_node(victim)
+        self._mark_node_dirty(keeper)
+        self._mark_node_dirty(parent)
+        return True
+
+    def _maybe_collapse_root(self, root: IndexNode) -> None:
+        """Shrink the height while the root has a single index child."""
+        while root.level > 1 and len(root.entries) == 1:
+            child = self._get_node(root.entries[0].ref)
+            if len(child.entries) > self.config.root_fanout:
+                return
+            root.entries = child.entries
+            root.level = child.level
+            self.height -= 1
+            self._drop_node(child)
+            self._mark_node_dirty(root)
+
+    # ------------------------------------------------------------------
+    # Node plumbing
+    # ------------------------------------------------------------------
+    def _get_node(self, page_id: int) -> IndexNode:
+        node = self._nodes.get(page_id)
+        is_root = page_id == self.root_page_id
+        if node is not None and (node.dirty or is_root):
+            # Dirty nodes live in memory until the end-of-op flush; the
+            # root is memory-resident with the object descriptor, so its
+            # accesses are never charged.
+            return node
+        if is_root:
+            # First access after a reopen: rebuild the root, uncharged.
+            data = self.pool.disk.peek_pages(page_id, 1)
+            node, total, _rightmost = IndexNode.deserialize(
+                data,
+                page_id,
+                is_root=True,
+                data_base=self.data_base,
+                meta_base=self.meta.base_page_id,
+                leaf_alloc_pages=self.leaf_alloc_pages,
+            )
+            self.total_bytes = total
+            self.height = node.level
+            self._nodes[page_id] = node
+            return node
+        self.pool.fix(page_id)
+        frame = self.pool.lookup(page_id)
+        if node is None:
+            assert frame is not None
+            node, _total, _rightmost = IndexNode.deserialize(
+                frame.content().ljust(self.config.page_size, b"\x00"),
+                page_id,
+                is_root=False,
+                data_base=self.data_base,
+                meta_base=self.meta.base_page_id,
+                leaf_alloc_pages=self.leaf_alloc_pages,
+            )
+            self._nodes[page_id] = node
+        self.pool.unfix(page_id)
+        return node
+
+    def _peek_node(self, page_id: int) -> IndexNode:
+        node = self._nodes.get(page_id)
+        if node is None:
+            raise StorageCorruptionError(f"index node {page_id} not in memory")
+        return node
+
+    def _new_node(self, level: int) -> IndexNode:
+        page_id = self.meta.allocate(1)
+        node = IndexNode(page_id, level)
+        self._nodes[page_id] = node
+        return node
+
+    def _drop_node(self, node: IndexNode) -> None:
+        self._dirty.discard(node.page_id)
+        self._nodes.pop(node.page_id, None)
+        self.meta.free(node.page_id, 1)
+
+    def _mark_node_dirty(self, node: IndexNode) -> None:
+        node.dirty = True
+        self._dirty.add(node.page_id)
+
+    def _shadow_path(self, path: list[tuple[IndexNode, int | None]]) -> None:
+        """Shadow and dirty every node on a root-to-leaf path.
+
+        Processing bottom-up lets each relocated node fix up the pointer
+        held by its parent (the entry index recorded in the path).
+        """
+        for depth in range(len(path) - 1, -1, -1):
+            node, _index = path[depth]
+            self._relocate_if_needed(
+                node, parent=path[depth - 1] if depth > 0 else None
+            )
+            self._mark_node_dirty(node)
+
+    def _relocate_if_needed(
+        self,
+        node: IndexNode,
+        parent: tuple[IndexNode, int | None] | None,
+    ) -> None:
+        is_root = node.page_id == self.root_page_id
+        if node.shadowed_this_op:
+            return
+        node.shadowed_this_op = True
+        if not self.shadow.index_update_needs_new_page(is_root):
+            return
+        old_page = node.page_id
+        new_page = self.meta.allocate(1)
+        self._dirty.discard(old_page)
+        self._nodes.pop(old_page, None)
+        node.page_id = new_page
+        self._nodes[new_page] = node
+        self._dirty.add(new_page)
+        self.meta.free(old_page, 1)
+        if parent is not None:
+            parent_node, child_index = parent
+            if child_index is not None:
+                parent_node.entries[child_index].ref = new_page
+            else:
+                self._repoint_child(parent_node, old_page, new_page)
+
+    def _repoint_child(
+        self, parent: IndexNode, old_page: int, new_page: int
+    ) -> None:
+        for entry in parent.entries:
+            if entry.ref == old_page:
+                entry.ref = new_page
+                return
+        raise StorageCorruptionError("shadowed node missing from its parent")
+
+    def _serialize_node(self, node: IndexNode) -> bytes:
+        is_root = node.page_id == self.root_page_id
+        rightmost_alloc = 0
+        if is_root:
+            last = self._rightmost_extent_uncharged()
+            rightmost_alloc = last.alloc_pages if last is not None else 0
+        return node.serialize(
+            self.config,
+            is_root=is_root,
+            total_bytes=self.total_bytes,
+            rightmost_alloc=rightmost_alloc,
+            data_base=self.data_base,
+            meta_base=self.meta.base_page_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Uncharged walks (verification / accounting)
+    # ------------------------------------------------------------------
+    def _iter_extents_uncharged(self, node: IndexNode) -> Iterator[LeafExtent]:
+        for entry in node.entries:
+            if node.is_leaf_parent:
+                assert isinstance(entry.ref, LeafExtent)
+                yield entry.ref
+            else:
+                yield from self._iter_extents_uncharged(
+                    self._peek_node(entry.ref)
+                )
+
+    def _walk_nodes(self) -> Iterator[IndexNode]:
+        if self.root_page_id is None:
+            return
+        stack = [self._peek_node(self.root_page_id)]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf_parent:
+                stack.extend(
+                    self._peek_node(entry.ref) for entry in node.entries
+                )
+
+    def _rightmost_extent_uncharged(self) -> LeafExtent | None:
+        if self.root_page_id is None:
+            return None
+        node = self._peek_node(self.root_page_id)
+        while node.entries and not node.is_leaf_parent:
+            node = self._peek_node(node.entries[-1].ref)
+        if not node.entries:
+            return None
+        ref = node.entries[-1].ref
+        assert isinstance(ref, LeafExtent)
+        return ref
+
+    def _advance(
+        self, path: list[tuple[IndexNode, int]]
+    ) -> tuple[LeafExtent, int] | None:
+        """Move a descent path to the next extent, charging node accesses."""
+        depth = len(path) - 1
+        while depth >= 0:
+            node, index = path[depth]
+            if index + 1 < len(node.entries):
+                break
+            depth -= 1
+        if depth < 0:
+            return None
+        node, index = path[depth]
+        path[depth] = (node, index + 1)
+        del path[depth + 1 :]
+        node_start = self._path_prefix_bytes(path)
+        node = path[-1][0]
+        while not node.is_leaf_parent:
+            child = self._get_node(node.entries[path[-1][1]].ref)
+            path.append((child, 0))
+            node = child
+        entry = node.entries[path[-1][1]]
+        assert isinstance(entry.ref, LeafExtent)
+        return entry.ref, node_start
+
+    def _path_prefix_bytes(self, path: list[tuple[IndexNode, int]]) -> int:
+        """Byte offset of the entry selected by the path's last element."""
+        total = 0
+        for node, index in path:
+            total += sum(e.bytes_count for e in node.entries[:index])
+        return total
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify structure, counts, and occupancy; for tests."""
+        if self.root_page_id is None:
+            return
+        root = self._peek_node(self.root_page_id)
+        assert root.level == self.height, "height drift"
+        total = self._check_subtree(root, is_root=True)
+        assert total == self.total_bytes, (
+            f"total bytes drift: tree says {total}, cached {self.total_bytes}"
+        )
+
+    def _check_subtree(self, node: IndexNode, is_root: bool) -> int:
+        assert len(node.entries) <= self._max_fanout(node), "node overfull"
+        if not is_root:
+            assert len(node.entries) >= self._min_fanout(node), "node underfull"
+        total = 0
+        for entry in node.entries:
+            if node.is_leaf_parent:
+                extent = entry.ref
+                assert isinstance(extent, LeafExtent)
+                assert entry.bytes_count == extent.used_bytes, "count mismatch"
+                assert extent.used_bytes > 0, "empty extent"
+                assert extent.alloc_pages >= extent.used_pages(
+                    self.config.page_size
+                ), "extent data exceeds allocation"
+            else:
+                child = self._peek_node(entry.ref)
+                assert child.level == node.level - 1, "level mismatch"
+                child_total = self._check_subtree(child, is_root=False)
+                assert child_total == entry.bytes_count, "subtree count drift"
+            total += entry.bytes_count
+        return total
+
+
+# ----------------------------------------------------------------------
+# Descent helpers
+# ----------------------------------------------------------------------
+def _choose_child(
+    node: IndexNode, offset: int, for_boundary: bool = False
+) -> tuple[int, int]:
+    """Pick the child covering ``offset`` (bytes relative to the node).
+
+    Returns (child index, byte offset of that child within the node).  An
+    offset equal to a boundary between children selects the right-hand
+    child; an offset equal to the node's total selects the last child.
+    """
+    cumulative = 0
+    for index, entry in enumerate(node.entries):
+        next_cumulative = cumulative + entry.bytes_count
+        if offset < next_cumulative:
+            return index, cumulative
+        cumulative = next_cumulative
+    return len(node.entries) - 1, cumulative - node.entries[-1].bytes_count
+
+
+def _boundary_index(node: IndexNode, offset: int) -> int:
+    """Entry index at which a new extent starting at ``offset`` (relative
+    to the node) must be inserted.  ``offset`` must be a boundary."""
+    cumulative = 0
+    for index, entry in enumerate(node.entries):
+        if offset == cumulative:
+            return index
+        cumulative += entry.bytes_count
+    if offset == cumulative:
+        return len(node.entries)
+    raise StorageCorruptionError("insert position is not an extent boundary")

@@ -1,0 +1,22 @@
+"""Random operation workload generation and execution (Section 4.4)."""
+
+from repro.workload.generator import (
+    DELETE,
+    INSERT,
+    READ,
+    Operation,
+    OperationMix,
+    WorkloadGenerator,
+)
+from repro.workload.runner import WindowStats, WorkloadRunner
+
+__all__ = [
+    "DELETE",
+    "INSERT",
+    "Operation",
+    "OperationMix",
+    "READ",
+    "WindowStats",
+    "WorkloadGenerator",
+    "WorkloadRunner",
+]

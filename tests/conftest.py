@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import SystemConfig, small_page_config
+from repro.core.env import StorageEnvironment
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """Tiny pages: byte-level edge cases appear with small objects."""
+    return small_page_config()
+
+
+@pytest.fixture
+def env(small_config: SystemConfig) -> StorageEnvironment:
+    """A fresh storage environment recording real bytes."""
+    return StorageEnvironment(small_config)
+
+
+@pytest.fixture
+def store_factory(small_config: SystemConfig):
+    """Factory building stores on the small config (real bytes)."""
+
+    def make(scheme: str, **kwargs) -> LargeObjectStore:
+        kwargs.setdefault("config", small_config)
+        config = kwargs.pop("config")
+        return LargeObjectStore(scheme, config, **kwargs)
+
+    return make
+
+
+def pattern_bytes(n: int, salt: int = 0) -> bytes:
+    """Deterministic non-repeating-ish test content."""
+    return bytes((salt + i * 7) % 251 for i in range(n))

@@ -1,0 +1,147 @@
+"""Tests for the block-based baseline manager (Section 1's first class)."""
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import PAPER_CONFIG
+from repro.core.errors import ObjectNotFoundError
+from tests.conftest import pattern_bytes
+
+PAGE = 128
+
+
+@pytest.fixture
+def store(store_factory):
+    return store_factory("blockbased")
+
+
+class TestBasics:
+    def test_roundtrip(self, store):
+        data = pattern_bytes(7 * PAGE + 19)
+        oid = store.create(data)
+        assert store.read(oid, 0, len(data)) == data
+
+    def test_single_block_pieces(self, store):
+        oid = store.create(pattern_bytes(5 * PAGE))
+        pages = store.manager.pages_of(oid)
+        assert len(pages) == 5
+        assert all(p.used_bytes == PAGE for p in pages)
+
+    def test_unknown_oid(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.size(99)
+
+
+class TestDefiningCost:
+    def test_one_seek_per_page_even_when_adjacent(self):
+        # The class's defining property: consecutive byte ranges are
+        # fetched one block per I/O call, so sequential reads pay a seek
+        # for virtually every page.
+        store = LargeObjectStore("blockbased", PAPER_CONFIG,
+                                 record_data=False)
+        n_pages = 20
+        oid = store.create(bytes(n_pages * PAPER_CONFIG.page_size))
+        before = store.snapshot()
+        store.read(oid, 0, n_pages * PAPER_CONFIG.page_size)
+        delta = store.env.io_since(before)
+        assert delta.read_calls == n_pages
+
+    def test_sequential_scan_slower_than_any_segment_scheme(self):
+        costs = {}
+        for scheme in ("blockbased", "starburst", "eos"):
+            store = LargeObjectStore(scheme, PAPER_CONFIG,
+                                     record_data=False)
+            oid = store.create(bytes(1 << 20))
+            trim = getattr(store.manager, "trim", None)
+            if trim:
+                trim(oid)
+            before = store.snapshot()
+            size = store.size(oid)
+            position = 0
+            while position < size:
+                store.read(oid, position, min(256 * 1024, size - position))
+                position += 256 * 1024
+            costs[scheme] = store.elapsed_ms(before)
+        assert costs["blockbased"] > 3 * costs["starburst"]
+        assert costs["blockbased"] > 3 * costs["eos"]
+
+
+class TestUpdates:
+    def test_insert_splits_page(self, store):
+        data = pattern_bytes(2 * PAGE)
+        oid = store.create(data)
+        patch = pattern_bytes(PAGE, salt=1)
+        store.insert(oid, 30, patch)
+        expected = data[:30] + patch + data[30:]
+        assert store.read(oid, 0, len(expected)) == expected
+        # The affected page split; no rebalancing happened.
+        assert len(store.manager.pages_of(oid)) >= 3
+
+    def test_no_rebalancing_degrades_utilization(self, store):
+        oid = store.create(pattern_bytes(8 * PAGE))
+        for i in range(10):
+            store.insert(oid, (i * 631) % store.size(oid), b"..")
+            store.delete(oid, (i * 433) % (store.size(oid) - 2), 2)
+        # Pages become sparse: utilization falls well below full.
+        assert store.utilization(oid) < 0.9
+
+    def test_delete_frees_empty_pages(self, store):
+        oid = store.create(pattern_bytes(6 * PAGE))
+        pages_before = store.env.areas.data.allocated_pages
+        store.delete(oid, PAGE, 3 * PAGE)
+        assert store.env.areas.data.allocated_pages <= pages_before - 3
+        store.manager.check_invariants(oid)
+
+    def test_replace_shadows_pages(self, store):
+        oid = store.create(pattern_bytes(3 * PAGE))
+        first_before = store.manager.pages_of(oid)[0].page_id
+        store.replace(oid, 0, b"Z")
+        assert store.manager.pages_of(oid)[0].page_id != first_before
+
+    def test_replace_in_place_without_shadowing(self, store_factory):
+        store = store_factory("blockbased", shadowing=False)
+        oid = store.create(pattern_bytes(3 * PAGE))
+        first_before = store.manager.pages_of(oid)[0].page_id
+        store.replace(oid, 0, b"Z")
+        assert store.manager.pages_of(oid)[0].page_id == first_before
+
+
+class TestDirectory:
+    def test_directory_grows_with_object(self, store):
+        oid = store.create()
+        slots = store.manager._slots_per_directory_page()
+        store.append(oid, pattern_bytes((slots + 1) * PAGE))
+        assert len(store.manager._directories[oid]) == 2
+        store.manager.check_invariants(oid)
+
+    def test_directory_shrinks_after_deletes(self, store):
+        slots = store.manager._slots_per_directory_page()
+        oid = store.create(pattern_bytes((slots + 1) * PAGE))
+        store.delete(oid, 0, slots * PAGE)
+        assert len(store.manager._directories[oid]) == 1
+
+    def test_directory_image_decodes(self, store):
+        oid = store.create(pattern_bytes(4 * PAGE + 9))
+        image = store.env.disk.peek_pages(oid, 1)
+        pages, next_link = store.manager.load_directory(store.env, image)
+        assert next_link is None
+        assert [(p.page_id, p.used_bytes) for p in pages] == [
+            (p.page_id, p.used_bytes) for p in store.manager.pages_of(oid)
+        ]
+
+    def test_directory_chain_decodes(self, store):
+        slots = store.manager._slots_per_directory_page()
+        oid = store.create(pattern_bytes((slots + 3) * PAGE))
+        pages = store.manager.load_directory_chain(store.env, oid)
+        assert [(p.page_id, p.used_bytes) for p in pages] == [
+            (p.page_id, p.used_bytes) for p in store.manager.pages_of(oid)
+        ]
+
+
+class TestDestroy:
+    def test_destroy_frees_everything(self, store):
+        oid = store.create(pattern_bytes(12 * PAGE))
+        store.insert(oid, 5, b"xx")
+        store.destroy(oid)
+        assert store.env.areas.data.allocated_pages == 0
+        assert store.env.areas.meta.allocated_pages == 0

@@ -1,0 +1,178 @@
+"""Unit tests for the buffer manager (Section 3.2)."""
+
+import pytest
+
+from repro.buffer.pool import BufferPool, _contiguous_runs
+from repro.core.config import small_page_config
+from repro.core.errors import BufferPoolError
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel
+
+
+def make_pool(pool_pages=4, page_size=128):
+    config = small_page_config(
+        page_size=page_size, buffer_pool_pages=pool_pages
+    )
+    cost = CostModel(config)
+    disk = SimulatedDisk(config, cost)
+    return config, cost, disk, BufferPool(config, disk)
+
+
+class TestFixUnfix:
+    def test_miss_reads_from_disk(self):
+        _config, cost, disk, pool = make_pool()
+        disk.poke_pages(5, b"content")
+        frame = pool.fix(5)
+        assert frame.data[:7] == b"content"
+        assert cost.stats.read_calls == 1
+        pool.unfix(5)
+
+    def test_hit_costs_nothing(self):
+        _config, cost, _disk, pool = make_pool()
+        pool.fix(5)
+        pool.unfix(5)
+        before = cost.stats.io_calls
+        pool.fix(5)
+        pool.unfix(5)
+        assert cost.stats.io_calls == before
+        assert pool.stats.hits == 1
+
+    def test_pinned_pages_cannot_be_evicted(self):
+        _config, _cost, _disk, pool = make_pool(pool_pages=2)
+        pool.fix(1)
+        pool.fix(2)
+        with pytest.raises(BufferPoolError):
+            pool.fix(3)
+
+    def test_unfix_unknown_page_raises(self):
+        _config, _cost, _disk, pool = make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.unfix(42)
+
+    def test_fix_new_does_not_read(self):
+        _config, cost, _disk, pool = make_pool()
+        frame = pool.fix_new(7, b"fresh")
+        assert frame.dirty
+        assert cost.stats.read_calls == 0
+        pool.unfix(7)
+
+    def test_fix_new_resident_page_raises(self):
+        _config, _cost, _disk, pool = make_pool()
+        pool.fix_new(7)
+        pool.unfix(7)
+        with pytest.raises(BufferPoolError):
+            pool.fix_new(7)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        _config, _cost, _disk, pool = make_pool(pool_pages=2)
+        pool.fix(1)
+        pool.unfix(1)
+        pool.fix(2)
+        pool.unfix(2)
+        pool.fix(1)  # touch 1: page 2 becomes LRU
+        pool.unfix(1)
+        pool.fix(3)
+        pool.unfix(3)
+        assert pool.is_resident(1)
+        assert not pool.is_resident(2)
+
+    def test_clean_pages_evicted_before_dirty(self):
+        # "we start first by freeing the least recently used clean pages
+        #  followed by dirty pages" (Section 3.2).
+        _config, _cost, _disk, pool = make_pool(pool_pages=2)
+        pool.fix(1)
+        pool.unfix(1, dirty=True)
+        pool.fix(2)  # clean, more recently used than 1
+        pool.unfix(2)
+        pool.fix(3)
+        pool.unfix(3)
+        assert pool.is_resident(1), "dirty page should have been kept"
+        assert not pool.is_resident(2)
+
+    def test_dirty_eviction_writes_back(self):
+        _config, cost, disk, pool = make_pool(pool_pages=1)
+        frame = pool.fix(1)
+        frame.data = b"dirty!"
+        pool.unfix(1, dirty=True)
+        pool.fix(2)
+        pool.unfix(2)
+        assert cost.stats.write_calls == 1
+        assert disk.peek_pages(1, 1)[:6] == b"dirty!"
+
+
+class TestReadRun:
+    def test_single_io_for_missing_run(self):
+        _config, cost, _disk, pool = make_pool(pool_pages=4)
+        pool.read_run(10, 3)
+        assert cost.stats.read_calls == 1
+        assert cost.stats.pages_read == 3
+
+    def test_partial_hits_split_ios(self):
+        _config, cost, _disk, pool = make_pool(pool_pages=4)
+        pool.fix(11)
+        pool.unfix(11)
+        before = cost.stats.read_calls
+        pool.read_run(10, 3)  # 10 missing, 11 resident, 12 missing
+        assert cost.stats.read_calls - before == 2
+
+    def test_returns_all_content(self):
+        _config, _cost, disk, pool = make_pool(pool_pages=4)
+        disk.poke_pages(20, b"A" * 128 + b"B" * 128)
+        data = pool.read_run(20, 2)
+        assert data[:128] == b"A" * 128
+        assert data[128:] == b"B" * 128
+
+    def test_can_accommodate(self):
+        _config, _cost, _disk, pool = make_pool(pool_pages=3)
+        assert pool.can_accommodate(3)
+        assert not pool.can_accommodate(4)
+        pool.fix(1)
+        assert pool.can_accommodate(2)
+        assert not pool.can_accommodate(3)
+
+
+class TestInvalidation:
+    def test_invalidate_discards_dirty_content(self):
+        _config, cost, _disk, pool = make_pool()
+        pool.fix(1)
+        pool.unfix(1, dirty=True)
+        pool.invalidate(1)
+        assert not pool.is_resident(1)
+        assert cost.stats.write_calls == 0
+
+    def test_invalidate_pinned_raises(self):
+        _config, _cost, _disk, pool = make_pool()
+        pool.fix(1)
+        with pytest.raises(BufferPoolError):
+            pool.invalidate(1)
+
+    def test_invalidate_absent_is_noop(self):
+        _config, _cost, _disk, pool = make_pool()
+        pool.invalidate(999)
+
+
+class TestFlush:
+    def test_flush_all_groups_contiguous_runs(self):
+        _config, cost, _disk, pool = make_pool(pool_pages=6)
+        for page in (1, 2, 3, 7):
+            pool.fix(page)
+            pool.unfix(page, dirty=True)
+        before = cost.stats.write_calls
+        pool.flush_all()
+        assert cost.stats.write_calls - before == 2  # [1,2,3] and [7]
+
+    def test_provider_supplies_content_at_writeback(self):
+        _config, _cost, disk, pool = make_pool()
+        pool.fix(1)
+        pool.set_provider(1, lambda: b"lazy" + bytes(124))
+        pool.unfix(1, dirty=True)
+        pool.flush_page(1)
+        assert disk.peek_pages(1, 1)[:4] == b"lazy"
+
+
+def test_contiguous_runs_helper():
+    assert _contiguous_runs([]) == []
+    assert _contiguous_runs([5]) == [(5, 1)]
+    assert _contiguous_runs([1, 2, 3, 7, 9, 10]) == [(1, 3), (7, 1), (9, 2)]

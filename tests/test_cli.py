@@ -1,0 +1,81 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments import random_ops
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    random_ops.clear_cache()
+    yield
+    random_ops.clear_cache()
+
+
+def test_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "33 milliseconds" in out
+
+
+def test_multiple_experiments(capsys):
+    assert main(["table1", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Figure 5" in out
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(ValueError):
+        main(["fig99"])
+
+
+def test_help_lists_experiments(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert "fig5" in out
+
+
+def test_plot_flag_renders_chart(capsys):
+    assert main(["--plot", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "o=ESM 1p" in out  # the ASCII chart legend
+
+
+def test_registry_plot_unknown():
+    from repro.experiments.registry import run_plot
+
+    with pytest.raises(ValueError):
+        run_plot("table1")
+
+
+def test_all_registered_experiments_run_at_tiny_scale(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for marker in ("Table 1", "Figure 5", "Figure 6", "Table 2",
+                   "Section 4.6 summary", "Scaling with object size"):
+        assert marker in out
+
+
+def test_report_generation(tmp_path):
+    from repro.experiments.report import write_report
+
+    path = str(tmp_path / "REPORT.md")
+    write_report(path, names=("table1", "fig5"))
+    text = open(path).read()
+    assert text.startswith("# Reproduction report")
+    assert "Table 1" in text
+    assert "Figure 5" in text
+    assert "o=ESM 1p" in text  # the ASCII chart rode along
+
+
+def test_report_unknown_experiment(tmp_path):
+    from repro.experiments.report import build_report
+
+    with pytest.raises(ValueError):
+        build_report(names=("fig99",))

@@ -1,0 +1,209 @@
+"""Integration tests encoding the paper's qualitative cost results.
+
+These are the "who wins and why" claims of Sections 4.2-4.6, asserted at
+reduced scale.  They run in phantom mode on the paper's 4 KB pages.
+"""
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.experiments.common import MB, build_object, make_store
+
+KB = 1024
+
+
+def build(scheme, object_bytes=MB, chunk=64 * KB, **opts):
+    store = make_store(scheme, **opts)
+    oid = build_object(store, object_bytes, chunk)
+    return store, oid
+
+
+class TestBuildTime:
+    def test_exact_fit_appends_beat_mismatched(self):
+        # Figure 5's startling result: ESM 1-page leaves, 4 KB appends are
+        # far cheaper than 3 KB or 5 KB appends.
+        costs = {}
+        for kb in (3, 4, 5):
+            store = make_store("esm", leaf_pages=1)
+            before = store.snapshot()
+            build_object(store, MB, kb * KB)
+            costs[kb] = store.elapsed_ms(before)
+        assert costs[4] < costs[3]
+        assert costs[4] < costs[5]
+
+    def test_starburst_beats_or_matches_best_esm(self):
+        # "for the same append size the first algorithms perform the same
+        #  as or better than the best case of ESM."
+        for kb in (4, 16, 64):
+            esm_best = min(
+                self_build_cost("esm", kb, leaf_pages=lp)
+                for lp in (1, 4, 16)
+            )
+            sb = self_build_cost("starburst", kb)
+            assert sb <= esm_best * 1.05
+
+    def test_larger_appends_build_faster(self):
+        small = self_build_cost("starburst", 4)
+        large = self_build_cost("starburst", 256)
+        assert large < small
+
+
+def self_build_cost(scheme, append_kb, **opts):
+    store = make_store(scheme, **opts)
+    before = store.snapshot()
+    build_object(store, MB, append_kb * KB)
+    return store.elapsed_ms(before)
+
+
+class TestSequentialScan:
+    def scan_cost(self, scheme, chunk_kb, **opts):
+        store, oid = build(scheme, chunk=chunk_kb * KB, **opts)
+        before = store.snapshot()
+        position = 0
+        size = store.size(oid)
+        while position < size:
+            take = min(chunk_kb * KB, size - position)
+            store.read(oid, position, take)
+            position += take
+        return store.elapsed_ms(before)
+
+    def test_one_page_leaves_scan_worst(self):
+        # Figure 6: ESM 1-page leaves read every page one by one.
+        one = self.scan_cost("esm", 64, leaf_pages=1)
+        sixteen = self.scan_cost("esm", 64, leaf_pages=16)
+        assert sixteen < one / 2
+
+    def test_starburst_scan_approaches_transfer_rate(self):
+        # Best possible for 1 MB at 1 KB/ms is ~1 s.
+        cost_ms = self.scan_cost("starburst", 256)
+        assert cost_ms < 2.0 * 1000
+
+    def test_sub_page_scans_equal_across_schemes(self):
+        # "for scans shorter than the page size all three techniques
+        #  produce the same results"
+        costs = {
+            scheme: self.scan_cost(scheme, 3, leaf_pages=1)
+            for scheme in ("esm", "starburst", "eos")
+        }
+        values = list(costs.values())
+        assert max(values) < min(values) * 1.2
+
+
+class TestUpdateCosts:
+    def test_starburst_updates_cost_far_more_than_eos(self):
+        # Section 4.6: "the update cost in EOS is approximately 30 times
+        # lower" (threshold 64, 100 B - 100 KB ops).
+        sb_store, sb_oid = build("starburst")
+        eos_store, eos_oid = build("eos", threshold_pages=4)
+        before = sb_store.snapshot()
+        sb_store.insert(sb_oid, 1000, bytes(10 * KB))
+        sb_cost = sb_store.elapsed_ms(before)
+        before = eos_store.snapshot()
+        eos_store.insert(eos_oid, 1000, bytes(10 * KB))
+        eos_cost = eos_store.elapsed_ms(before)
+        assert sb_cost > 10 * eos_cost
+
+    def test_starburst_update_cost_grows_with_object_size(self):
+        # "the larger the object the worse the performance"
+        costs = []
+        for size in (MB, 4 * MB):
+            store, oid = build("starburst", object_bytes=size)
+            before = store.snapshot()
+            store.insert(oid, 100, bytes(KB))
+            costs.append(store.elapsed_ms(before))
+        assert costs[1] > 2 * costs[0]
+
+    def test_esm_update_cost_independent_of_object_size(self):
+        costs = []
+        for size in (MB, 4 * MB):
+            store, oid = build("esm", object_bytes=size, leaf_pages=4)
+            before = store.snapshot()
+            store.insert(oid, 100, bytes(KB))
+            costs.append(store.elapsed_ms(before))
+        assert costs[1] < 2 * costs[0]
+
+    def test_eos_insert_cost_rises_with_large_threshold(self):
+        # Figure 12: thresholds above ~4 pay for page reshuffling.
+        def steady_insert_cost(threshold):
+            store, oid = build("eos", threshold_pages=threshold)
+            store.manager.trim(oid)
+            # Fragment the object first so the threshold is biting.
+            for i in range(40):
+                store.insert(oid, (i * 37777) % store.size(oid), bytes(KB))
+            before = store.snapshot()
+            for i in range(40):
+                store.insert(oid, (i * 31333) % store.size(oid), bytes(KB))
+            return store.elapsed_ms(before)
+
+        assert steady_insert_cost(64) > steady_insert_cost(1)
+
+
+class TestReadCosts:
+    def test_bigger_eos_threshold_reads_cheaper_after_updates(self):
+        def read_cost(threshold):
+            store, oid = build("eos", threshold_pages=threshold)
+            store.manager.trim(oid)
+            for i in range(60):
+                store.insert(oid, (i * 37777) % store.size(oid), bytes(KB))
+                store.delete(oid, (i * 17771) % (store.size(oid) - KB), KB)
+            before = store.snapshot()
+            for i in range(30):
+                store.read(oid, (i * 23333) % (store.size(oid) - 64 * KB),
+                           64 * KB)
+            return store.elapsed_ms(before)
+
+        assert read_cost(16) < read_cost(1)
+
+    def test_eos_reads_beat_esm_one_page_leaves(self):
+        # Section 4.4.2: EOS inserts new bytes into one multi-page
+        # segment where ESM uses separate leaf pages.
+        esm_store, esm_oid = build("esm", leaf_pages=1)
+        eos_store, eos_oid = build("eos", threshold_pages=1)
+        for store, oid in ((esm_store, esm_oid), (eos_store, eos_oid)):
+            for i in range(30):
+                store.insert(oid, (i * 37777) % store.size(oid),
+                             bytes(10 * KB))
+        def cost(store, oid):
+            before = store.snapshot()
+            for i in range(30):
+                store.read(oid, (i * 23333) % (store.size(oid) - 10 * KB),
+                           10 * KB)
+            return store.elapsed_ms(before)
+
+        assert cost(eos_store, eos_oid) < cost(esm_store, esm_oid)
+
+
+class TestUtilizationShapes:
+    def test_starburst_utilization_best_possible(self):
+        store, oid = build("starburst")
+        store.insert(oid, 1234, bytes(10 * KB))
+        store.delete(oid, 999, 5 * KB)
+        # Only the last page of the object may have free space, plus the
+        # descriptor page.
+        pages = store.allocated_pages(oid)
+        minimum = -(-store.size(oid) // store.config.page_size) + 1
+        assert pages == minimum
+
+    def test_eos_utilization_improves_with_threshold(self):
+        def utilization(threshold):
+            store, oid = build("eos", threshold_pages=threshold)
+            store.manager.trim(oid)
+            for i in range(50):
+                store.insert(oid, (i * 37777) % store.size(oid), bytes(KB))
+                store.delete(oid, (i * 17771) % (store.size(oid) - KB), KB)
+            return store.utilization(oid)
+
+        assert utilization(16) > utilization(1)
+
+    def test_esm_100k_updates_worse_utilization_with_big_leaves(self):
+        def utilization(leaf_pages):
+            store, oid = build("esm", leaf_pages=leaf_pages)
+            for i in range(30):
+                store.insert(oid, (i * 37777) % store.size(oid),
+                             bytes(100 * KB))
+                store.delete(
+                    oid, (i * 17771) % (store.size(oid) - 100 * KB), 100 * KB
+                )
+            return store.utilization(oid)
+
+        assert utilization(1) > utilization(64)

@@ -1,0 +1,103 @@
+"""Tests for the named-object database facade."""
+
+import os
+
+import pytest
+
+from repro.core.config import small_page_config
+from repro.core.database import Database, DuplicateNameError
+from repro.core.errors import ObjectNotFoundError
+from tests.conftest import pattern_bytes
+
+CONFIG = small_page_config()
+PAGE = 128
+
+
+@pytest.fixture(params=["esm", "starburst", "eos"])
+def db(request):
+    return Database(request.param, CONFIG, leaf_pages=2, threshold_pages=2)
+
+
+class TestCatalog:
+    def test_put_read(self, db):
+        db.put("a", b"hello")
+        assert db.read("a") == b"hello"
+        assert db.size("a") == 5
+
+    def test_duplicate_rejected(self, db):
+        db.put("a")
+        with pytest.raises(DuplicateNameError):
+            db.put("a")
+
+    def test_missing_name(self, db):
+        with pytest.raises(ObjectNotFoundError):
+            db.read("ghost")
+
+    def test_drop_frees_space(self, db):
+        db.put("big", pattern_bytes(20 * PAGE))
+        pages = db.env.areas.data.allocated_pages
+        db.drop("big")
+        assert db.env.areas.data.allocated_pages < pages
+        assert not db.exists("big")
+
+    def test_rename(self, db):
+        db.put("old", b"content")
+        db.rename("old", "new")
+        assert db.read("new") == b"content"
+        assert not db.exists("old")
+        with pytest.raises(DuplicateNameError):
+            db.put("other"), db.rename("new", "other")
+
+    def test_list(self, db):
+        db.put("b", b"22")
+        db.put("a", b"1")
+        assert db.list() == [("a", 1), ("b", 2)]
+
+
+class TestByteRangeByName:
+    def test_edit_cycle(self, db):
+        data = pattern_bytes(4 * PAGE)
+        db.put("doc", data)
+        db.insert("doc", 100, b"NEW")
+        db.delete("doc", 0, 10)
+        db.replace("doc", 5, b"##")
+        db.append("doc", b"end")
+        reference = bytearray(data)
+        reference[100:100] = b"NEW"
+        del reference[0:10]
+        reference[5:7] = b"##"
+        reference.extend(b"end")
+        assert db.read("doc") == bytes(reference)
+
+    def test_partial_read(self, db):
+        db.put("doc", pattern_bytes(300))
+        assert db.read("doc", 100, 50) == pattern_bytes(300)[100:150]
+
+    def test_utilization(self, db):
+        db.put("doc", pattern_bytes(10 * PAGE))
+        assert 0.0 < db.utilization("doc") <= 1.0
+
+
+class TestFileHandles:
+    def test_open_and_stream(self, db):
+        db.put("log", b"line one\n")
+        with db.open("log") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"line two\n")
+        assert db.read("log") == b"line one\nline two\n"
+
+    def test_two_handles_same_object(self, db):
+        db.put("shared", b"0123456789")
+        a = db.open("shared")
+        b = db.open("shared")
+        a.seek(5)
+        a.write(b"X")
+        b.seek(0)
+        assert b.read() == b"01234X6789"
+
+
+class TestAccounting:
+    def test_stats_accumulate(self, db):
+        db.put("doc", pattern_bytes(10 * PAGE))
+        assert db.stats.io_calls > 0
+        assert db.elapsed_ms() > 0

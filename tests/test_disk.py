@@ -1,0 +1,91 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.core.config import small_page_config
+from repro.core.errors import AllocationError
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel
+
+
+@pytest.fixture
+def disk():
+    config = small_page_config(page_size=128)
+    return SimulatedDisk(config, CostModel(config))
+
+
+class TestReadWrite:
+    def test_roundtrip(self, disk):
+        data = bytes(range(128)) * 2
+        disk.write_pages(10, 2, data)
+        assert disk.read_pages(10, 2) == data
+
+    def test_short_write_zero_fills_tail(self, disk):
+        disk.write_pages(0, 2, b"abc")
+        content = disk.read_pages(0, 2)
+        assert content[:3] == b"abc"
+        assert content[3:] == bytes(2 * 128 - 3)
+
+    def test_unwritten_pages_read_as_zeros(self, disk):
+        assert disk.read_pages(99, 3) == bytes(3 * 128)
+
+    def test_oversized_write_rejected(self, disk):
+        with pytest.raises(AllocationError):
+            disk.write_pages(0, 1, bytes(129))
+
+    def test_negative_page_rejected(self, disk):
+        with pytest.raises(AllocationError):
+            disk.read_pages(-1, 1)
+
+    def test_zero_pages_rejected(self, disk):
+        with pytest.raises(AllocationError):
+            disk.read_pages(0, 0)
+
+
+class TestCostAccounting:
+    def test_read_charges_one_call(self, disk):
+        disk.read_pages(0, 5)
+        assert disk.cost.stats.read_calls == 1
+        assert disk.cost.stats.pages_read == 5
+
+    def test_write_charges_one_call(self, disk):
+        disk.write_pages(0, 3, b"x")
+        assert disk.cost.stats.write_calls == 1
+        assert disk.cost.stats.pages_written == 3
+
+    def test_peek_and_poke_are_free(self, disk):
+        disk.poke_pages(0, b"hello")
+        assert disk.peek_pages(0, 1)[:5] == b"hello"
+        assert disk.cost.stats.io_calls == 0
+
+
+class TestPhantomMode:
+    def test_phantom_write_counts_but_discards(self, disk):
+        disk.write_pages(0, 2, b"secret", record=False)
+        assert disk.cost.stats.pages_written == 2
+        assert disk.read_pages(0, 2) == bytes(2 * 128)
+
+    def test_phantom_marks_page_written(self, disk):
+        disk.write_pages(7, 1, b"x", record=False)
+        assert disk.was_written(7)
+        assert not disk.was_written(8)
+
+    def test_phantom_over_recorded_forgets_content(self, disk):
+        disk.write_pages(0, 1, b"real")
+        disk.write_pages(0, 1, b"gone", record=False)
+        assert disk.read_pages(0, 1) == bytes(128)
+
+
+class TestDiscard:
+    def test_discard_forgets_pages(self, disk):
+        disk.write_pages(0, 2, b"ab" * 100)
+        disk.discard_pages(0, 2)
+        assert not disk.was_written(0)
+        assert disk.pages_in_use == 0
+
+    def test_discard_is_selective(self, disk):
+        disk.write_pages(0, 3, b"x" * 300)
+        disk.discard_pages(1, 1)
+        assert disk.was_written(0)
+        assert not disk.was_written(1)
+        assert disk.was_written(2)

@@ -1,0 +1,193 @@
+"""Directed tests for the EOS large-object manager (Section 2.3)."""
+
+import pytest
+
+from repro.core.errors import ByteRangeError, ObjectNotFoundError
+from tests.conftest import pattern_bytes
+
+PAGE = 128
+
+
+@pytest.fixture
+def store(store_factory):
+    return store_factory("eos", threshold_pages=2)
+
+
+def extents(store, oid):
+    return list(store.manager.tree_of(oid).iter_extents(charged=False))
+
+
+class TestGrowth:
+    def test_doubling_segments_like_starburst(self, store):
+        oid = store.create()
+        for salt in range(7):
+            store.append(oid, pattern_bytes(PAGE, salt=salt))
+        allocs = [e.alloc_pages for e in extents(store, oid)]
+        assert allocs == [1, 2, 4]
+
+    def test_no_holes_except_last_page(self, store):
+        oid = store.create(pattern_bytes(5 * PAGE + 17))
+        for extent in extents(store, oid)[:-1]:
+            # Full pages everywhere except possibly the rightmost extent.
+            assert extent.used_bytes == extent.alloc_pages * PAGE
+
+    def test_trim_rightmost(self, store):
+        oid = store.create()
+        store.append(oid, pattern_bytes(PAGE))
+        store.append(oid, pattern_bytes(2 * PAGE, salt=1))
+        store.append(oid, pattern_bytes(10, salt=2))  # 4-page segment, 1 used
+        before = store.env.areas.data.allocated_pages
+        store.manager.trim(oid)
+        assert store.env.areas.data.allocated_pages == before - 3
+        last = extents(store, oid)[-1]
+        assert last.alloc_pages == last.used_pages(PAGE)
+
+
+class TestInsertSplitting:
+    def test_figure_3_style_split_keeps_prefix_in_place(self, store_factory):
+        # Insert into the middle of a big segment: the page-aligned prefix
+        # stays put; with T=1 nothing is shuffled back together.
+        store = store_factory("eos", threshold_pages=1)
+        data = pattern_bytes(8 * PAGE)
+        oid = store.create(data)
+        store.manager.trim(oid)
+        first_page = extents(store, oid)[0].page_id
+        patch = pattern_bytes(PAGE, salt=3)
+        store.insert(oid, 3 * PAGE + 40, patch)
+        expected = data[: 3 * PAGE + 40] + patch + data[3 * PAGE + 40 :]
+        assert store.read(oid, 0, len(expected)) == expected
+        assert extents(store, oid)[0].page_id == first_page
+        # Split produced: prefix (in place), new bytes, boundary fragment,
+        # and the aligned remainder (in place at its old pages).
+        sizes = [e.used_bytes for e in extents(store, oid)]
+        assert sizes[0] == 3 * PAGE + 40
+        assert sum(sizes) == len(expected)
+
+    def test_aligned_remainder_stays_in_place(self, store_factory):
+        store = store_factory("eos", threshold_pages=1)
+        data = pattern_bytes(8 * PAGE)
+        oid = store.create(data)
+        store.manager.trim(oid)
+        base = extents(store, oid)[0].page_id
+        store.insert(oid, 3 * PAGE + 40, b"~")
+        pages = [e.page_id for e in extents(store, oid)]
+        # The remainder extent points into the ORIGINAL segment's pages.
+        assert base + 4 in pages
+
+    def test_repeated_updates_degrade_to_small_segments(self, store_factory):
+        # "After repetitive inserts or deletes we may end up with a tree
+        #  whose leaves are single-page segments" (threshold 1).
+        store = store_factory("eos", threshold_pages=1)
+        oid = store.create(pattern_bytes(16 * PAGE))
+        store.manager.trim(oid)
+        for i in range(12):
+            store.insert(oid, (i * 379) % store.size(oid), b"xy")
+        counts = [e.alloc_pages for e in extents(store, oid)]
+        assert max(counts) < 16
+        assert min(counts) == 1
+
+    def test_threshold_shuffles_fragments_together(self, store_factory):
+        small_t = store_factory("eos", threshold_pages=1)
+        big_t = store_factory("eos", threshold_pages=8)
+        for s in (small_t, big_t):
+            oid = s.create(pattern_bytes(16 * PAGE))
+            s.manager.trim(oid)
+            for i in range(12):
+                s.insert(oid, (i * 379) % s.size(oid), b"xy")
+            s.n_extents = len(
+                list(s.manager.tree_of(oid).iter_extents(charged=False))
+            )
+        assert big_t.n_extents < small_t.n_extents
+
+    def test_insert_content_with_merging(self, store):
+        data = pattern_bytes(4 * PAGE)
+        oid = store.create(data)
+        store.manager.trim(oid)
+        expected = bytearray(data)
+        for i, offset in enumerate((10, 3 * PAGE, PAGE + 77, 0)):
+            patch = pattern_bytes(40 + i, salt=i)
+            store.insert(oid, offset, patch)
+            expected[offset:offset] = patch
+        assert store.read(oid, 0, len(expected)) == bytes(expected)
+        store.manager.tree_of(oid).check_invariants()
+
+
+class TestDelete:
+    def test_delete_within_segment(self, store):
+        data = pattern_bytes(6 * PAGE)
+        oid = store.create(data)
+        store.manager.trim(oid)
+        store.delete(oid, PAGE + 13, 2 * PAGE)
+        expected = data[: PAGE + 13] + data[PAGE + 13 + 2 * PAGE :]
+        assert store.read(oid, 0, len(expected)) == expected
+        store.manager.tree_of(oid).check_invariants()
+
+    def test_delete_spanning_segments(self, store):
+        oid = store.create()
+        for salt in range(6):
+            store.append(oid, pattern_bytes(2 * PAGE, salt=salt))
+        data = store.read(oid, 0, store.size(oid))
+        store.delete(oid, PAGE, 7 * PAGE)
+        expected = data[:PAGE] + data[8 * PAGE :]
+        assert store.read(oid, 0, len(expected)) == expected
+
+    def test_delete_everything(self, store):
+        oid = store.create(pattern_bytes(9 * PAGE))
+        store.delete(oid, 0, 9 * PAGE)
+        assert store.size(oid) == 0
+        assert extents(store, oid) == []
+
+    def test_whole_extent_delete_frees_pages(self, store_factory):
+        store = store_factory("eos", threshold_pages=1)
+        oid = store.create()
+        for salt in range(6):
+            store.append(oid, pattern_bytes(2 * PAGE, salt=salt))
+        store.manager.trim(oid)
+        before = store.env.areas.data.allocated_pages
+        # Delete exactly the second extent's byte range.
+        second = extents(store, oid)[1]
+        start = extents(store, oid)[0].used_bytes
+        store.delete(oid, start, second.used_bytes)
+        assert store.env.areas.data.allocated_pages <= before - second.alloc_pages
+        store.manager.tree_of(oid).check_invariants()
+
+    def test_bounds_checked(self, store):
+        oid = store.create(b"abc")
+        with pytest.raises(ByteRangeError):
+            store.delete(oid, 0, 4)
+
+
+class TestReplace:
+    def test_replace_roundtrip(self, store):
+        data = pattern_bytes(5 * PAGE)
+        oid = store.create(data)
+        patch = pattern_bytes(2 * PAGE, salt=4)
+        store.replace(oid, PAGE // 2, patch)
+        expected = data[: PAGE // 2] + patch + data[PAGE // 2 + len(patch) :]
+        assert store.read(oid, 0, len(expected)) == expected
+
+    def test_replace_shadows_segment(self, store):
+        oid = store.create(pattern_bytes(2 * PAGE))
+        store.manager.trim(oid)
+        page_before = extents(store, oid)[0].page_id
+        store.replace(oid, 0, b"Z")
+        assert extents(store, oid)[0].page_id != page_before
+
+    def test_replace_trims_slack(self, store):
+        # Shadow-rewriting the rightmost segment reallocates it exactly.
+        oid = store.create(pattern_bytes(PAGE + 10))
+        store.replace(oid, 0, b"Z")
+        last = extents(store, oid)[-1]
+        assert last.alloc_pages == last.used_pages(PAGE)
+
+
+class TestDestroy:
+    def test_destroy_frees_everything(self, store):
+        oid = store.create(pattern_bytes(20 * PAGE))
+        for i in range(5):
+            store.insert(oid, i * 100, pattern_bytes(30, salt=i))
+        store.destroy(oid)
+        assert store.env.areas.data.allocated_pages == 0
+        assert store.env.areas.meta.allocated_pages == 0
+        with pytest.raises(ObjectNotFoundError):
+            store.size(oid)

@@ -1,0 +1,82 @@
+"""Tests for the ESM leaf arrangement rules (Sections 3.4 and 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.esm.leaf import arrange_append_overflow, arrange_even, arrange_fresh
+
+C = 1000  # leaf capacity for these tests
+
+
+class TestArrangeFresh:
+    def test_empty(self):
+        assert arrange_fresh(0, C) == []
+
+    def test_exact_multiples_are_full_leaves(self):
+        assert arrange_fresh(3 * C, C) == [C, C, C]
+
+    def test_small_tail_splits_last_two(self):
+        sizes = arrange_fresh(2 * C + 100, C)
+        assert sizes == [C, 550, 550]
+
+    def test_large_tail_stays_single(self):
+        sizes = arrange_fresh(2 * C + 700, C)
+        assert sizes == [C, C, 700]
+
+    def test_sole_small_leaf_allowed(self):
+        assert arrange_fresh(10, C) == [10]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            arrange_fresh(10, 0)
+
+
+class TestArrangeAppendOverflow:
+    def test_exact_fit(self):
+        assert arrange_append_overflow(4 * C, C) == [C] * 4
+
+    def test_remainder_always_splits_last_two(self):
+        # Paper: "all but the two rightmost leaves are full.  The
+        # remaining bytes are evenly distributed in the last two leaves,
+        # leaving each of them at least 1/2 full."
+        sizes = arrange_append_overflow(3 * C + 600, C)
+        assert sizes[:2] == [C, C]
+        assert sorted(sizes[2:]) == [800, 800]
+
+    def test_halves_at_least_half_full(self):
+        for remainder in (1, 250, 499, 500, 999):
+            sizes = arrange_append_overflow(2 * C + remainder, C)
+            assert all(2 * size >= C for size in sizes)
+
+
+class TestArrangeEven:
+    def test_minimum_leaf_count(self):
+        assert len(arrange_even(2 * C + 1, C)) == 3
+
+    def test_even_distribution(self):
+        sizes = arrange_even(2 * C + 1, C)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_leaf(self):
+        assert arrange_even(C, C) == [C]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=50 * C))
+def test_all_rules_conserve_bytes(total):
+    """Property: every arrangement covers exactly the input bytes and
+    never exceeds the leaf capacity."""
+    for rule in (arrange_fresh, arrange_append_overflow, arrange_even):
+        sizes = rule(total, C)
+        assert sum(sizes) == total
+        assert all(0 < size <= C for size in sizes)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=C + 1, max_value=50 * C))
+def test_overflow_rules_keep_leaves_half_full(total):
+    """Property: on overflow, every produced leaf is at least half full."""
+    for rule in (arrange_append_overflow, arrange_even):
+        sizes = rule(total, C)
+        assert all(2 * size >= C for size in sizes)

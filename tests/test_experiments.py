@@ -1,0 +1,194 @@
+"""Integration tests for the experiment harness (tiny scale)."""
+
+import pytest
+
+from repro.experiments import random_ops
+from repro.experiments.common import (
+    APPEND_SIZES_KB,
+    EOS_THRESHOLDS,
+    ESM_LEAF_PAGES,
+    MEAN_OP_SIZES,
+    PAPER_SCALE,
+    TINY_SCALE,
+    resolve_scale,
+)
+from repro.experiments.fig5_build import run_fig5
+from repro.experiments.fig6_scan import run_fig6
+from repro.experiments.fig7_8_utilization import run_utilization
+from repro.experiments.fig9_10_read import run_read_cost
+from repro.experiments.fig11_12_insert import run_update_cost
+from repro.experiments.registry import EXPERIMENTS, run
+from repro.experiments.tables import run_starburst_costs, table1
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    random_ops.clear_cache()
+    yield
+    random_ops.clear_cache()
+
+
+class TestScales:
+    def test_paper_scale_matches_section_4_1(self):
+        assert PAPER_SCALE.object_bytes == 10 * (1 << 20)
+        assert PAPER_SCALE.window == 2000
+        assert PAPER_SCALE.append_sizes_kb == APPEND_SIZES_KB
+
+    def test_paper_append_sizes_footnote_2(self):
+        assert APPEND_SIZES_KB == (
+            3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32,
+            50, 64, 100, 128, 200, 256, 512,
+        )
+
+    def test_resolve_by_name(self):
+        assert resolve_scale("tiny") is TINY_SCALE
+
+    def test_resolve_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert resolve_scale().name == "paper"
+        monkeypatch.delenv("REPRO_FULL")
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert resolve_scale().name == "tiny"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_settings_match_section_4_1(self):
+        assert ESM_LEAF_PAGES == (1, 4, 16, 64)
+        assert EOS_THRESHOLDS == (1, 4, 16, 64)
+        assert MEAN_OP_SIZES == (100, 10240, 102400)
+
+
+class TestTable1:
+    def test_contains_all_parameters(self):
+        out = table1()
+        for fragment in ("4K-byte", "12 pages", "4 pages", "33", "1K-byte"):
+            assert fragment in out
+
+
+class TestFig5:
+    def test_series_and_shape(self):
+        result = run_fig5(TINY_SCALE)
+        assert set(result.series) == {
+            "ESM 1p", "ESM 4p", "ESM 16p", "ESM 64p", "Starburst/EOS",
+        }
+        for values in result.series.values():
+            assert len(values) == len(TINY_SCALE.append_sizes_kb)
+            assert all(v > 0 for v in values)
+        # Exact-fit dip: 4 KB appends beat 3 KB for 1-page leaves.
+        sizes = list(TINY_SCALE.append_sizes_kb)
+        esm1 = result.series["ESM 1p"]
+        assert esm1[sizes.index(4)] < esm1[sizes.index(3)]
+        assert "Figure 5" in result.format()
+
+
+class TestFig6:
+    def test_series_and_shape(self):
+        result = run_fig6(TINY_SCALE)
+        sizes = list(TINY_SCALE.append_sizes_kb)
+        large = sizes.index(64)
+        esm1 = result.series["ESM 1p"]
+        esm64 = result.series["ESM 64p"]
+        assert esm64[large] < esm1[large]
+        assert "Figure 6" in result.format()
+
+
+class TestRandomOpsRuns:
+    def test_windows_and_marks(self):
+        result = random_ops.run_random_ops("eos", 4, 100, TINY_SCALE)
+        assert len(result.windows) == TINY_SCALE.marks
+        assert result.ops_marks[-1] == TINY_SCALE.n_ops
+
+    def test_memoization_reuses_runs(self):
+        first = random_ops.run_random_ops("eos", 4, 100, TINY_SCALE)
+        second = random_ops.run_random_ops("eos", 4, 100, TINY_SCALE)
+        assert first is second
+
+    def test_starburst_uses_reduced_op_count(self):
+        result = random_ops.run_random_ops("starburst", 0, 100, TINY_SCALE)
+        assert result.ops_marks[-1] == TINY_SCALE.starburst_ops
+
+
+class TestUtilizationExperiment:
+    def test_eos_threshold_ordering(self):
+        result = run_utilization("eos", 100 * 1024, TINY_SCALE)
+        assert result.final("T=64p") > result.final("T=1p")
+
+    def test_esm_100k_leaf_ordering(self):
+        result = run_utilization("esm", 100 * 1024, TINY_SCALE)
+        assert result.final("leaf=1p") > result.final("leaf=64p")
+
+    def test_format_mentions_figure(self):
+        result = run_utilization("eos", 100, TINY_SCALE)
+        assert "Figure 8.x" in result.format("8.x")
+
+
+class TestCostExperiments:
+    def test_read_cost_series(self):
+        result = run_read_cost("eos", 100 * 1024, TINY_SCALE)
+        assert result.steady("T=16p") <= result.steady("T=1p")
+
+    def test_update_cost_kinds(self):
+        insert = run_update_cost("eos", 100, "insert", TINY_SCALE)
+        delete = run_update_cost("eos", 100, "delete", TINY_SCALE)
+        assert insert.kind == "insert"
+        assert delete.kind == "delete"
+        with pytest.raises(ValueError):
+            run_update_cost("eos", 100, "upsert", TINY_SCALE)
+
+
+class TestStarburstTables:
+    def test_read_cost_close_to_paper_at_tiny_scale(self):
+        costs = run_starburst_costs(TINY_SCALE)
+        # 100-byte reads cost at most one seek + one page transfer (37 ms);
+        # at tiny scale some reads hit the pool and cost nothing.
+        assert 20.0 <= costs.read_ms[0] <= 41.0
+        # Insert/delete costs are constant across op sizes (Table 3).
+        assert max(costs.insert_s) < 4 * min(costs.insert_s)
+        assert "Table 2" in costs.format_table2()
+        assert "Table 3" in costs.format_table3()
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert {"table1", "fig5", "fig6"} <= set(EXPERIMENTS)
+
+    def test_run_unknown_raises(self):
+        with pytest.raises(ValueError):
+            run("fig99")
+
+    def test_run_table1(self):
+        assert "Table 1" in run("table1")
+
+
+class TestSummaryExperiment:
+    def test_rows_and_shape(self):
+        from repro.experiments.summary import format_summary, run_summary
+
+        rows = run_summary(10 * 1024, TINY_SCALE)
+        labels = [row.label for row in rows]
+        assert any("ESM" in label for label in labels)
+        assert any("Starburst" in label for label in labels)
+        assert any("block-based" in label for label in labels)
+        by = {row.label.split(" ")[0]: row for row in rows}
+        assert by["Starburst"].insert_ms > by["EOS"].insert_ms
+        out = format_summary(rows, 10 * 1024)
+        assert "Section 4.6 summary" in out
+
+
+class TestScalingExperiment:
+    def test_exponents(self):
+        from repro.experiments.scaling import run_scaling
+
+        esm = run_scaling("esm", TINY_SCALE, steps=3)
+        sb = run_scaling("starburst", TINY_SCALE, steps=3)
+        assert 0.8 < esm.build_exponent < 1.2
+        assert abs(esm.insert_exponent) < 0.35
+        assert sb.insert_exponent > esm.insert_exponent
+
+    def test_format(self):
+        from repro.experiments.scaling import format_scaling, run_scaling
+
+        out = format_scaling([run_scaling("eos", TINY_SCALE, steps=2)])
+        assert "build exp" in out

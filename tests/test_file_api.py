@@ -1,0 +1,149 @@
+"""Tests for the file-like large-object view."""
+
+import io
+import os
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import small_page_config
+from repro.core.errors import ByteRangeError
+from repro.core.file import LargeObjectFile
+from tests.conftest import pattern_bytes
+
+PAGE = 128
+
+
+@pytest.fixture(params=["esm", "starburst", "eos"])
+def handle(request):
+    store = LargeObjectStore(request.param, small_page_config())
+    oid = store.create()
+    return LargeObjectFile(store.manager, oid)
+
+
+class TestReadWrite:
+    def test_write_then_read_back(self, handle):
+        data = pattern_bytes(3 * PAGE)
+        assert handle.write(data) == len(data)
+        handle.seek(0)
+        assert handle.read() == data
+
+    def test_partial_reads_advance_cursor(self, handle):
+        handle.write(pattern_bytes(300))
+        handle.seek(0)
+        first = handle.read(100)
+        second = handle.read(100)
+        assert first + second == pattern_bytes(300)[:200]
+        assert handle.tell() == 200
+
+    def test_read_at_eof(self, handle):
+        handle.write(b"abc")
+        assert handle.read() == b""
+
+    def test_overwrite_in_the_middle(self, handle):
+        handle.write(pattern_bytes(200))
+        handle.seek(50)
+        handle.write(b"XXXX")
+        handle.seek(0)
+        expected = bytearray(pattern_bytes(200))
+        expected[50:54] = b"XXXX"
+        assert handle.read() == bytes(expected)
+
+    def test_write_straddling_eof_extends(self, handle):
+        handle.write(b"0123456789")
+        handle.seek(5)
+        handle.write(b"ABCDEFGHIJ")
+        handle.seek(0)
+        assert handle.read() == b"01234ABCDEFGHIJ"
+
+    def test_sparse_write_zero_fills(self, handle):
+        handle.write(b"ab")
+        handle.seek(10)
+        handle.write(b"z")
+        handle.seek(0)
+        assert handle.read() == b"ab" + bytes(8) + b"z"
+
+    def test_readinto(self, handle):
+        handle.write(b"hello world")
+        handle.seek(6)
+        buffer = bytearray(5)
+        assert handle.readinto(buffer) == 5
+        assert bytes(buffer) == b"world"
+
+
+class TestSeek:
+    def test_whence_modes(self, handle):
+        handle.write(bytes(100))
+        assert handle.seek(10) == 10
+        assert handle.seek(5, os.SEEK_CUR) == 15
+        assert handle.seek(-20, os.SEEK_END) == 80
+
+    def test_negative_seek_rejected(self, handle):
+        with pytest.raises(ByteRangeError):
+            handle.seek(-1)
+
+    def test_bad_whence_rejected(self, handle):
+        with pytest.raises(ValueError):
+            handle.seek(0, 9)
+
+
+class TestTruncate:
+    def test_shrink(self, handle):
+        handle.write(pattern_bytes(500))
+        handle.truncate(100)
+        assert handle.size() == 100
+        handle.seek(0)
+        assert handle.read() == pattern_bytes(500)[:100]
+
+    def test_grow_zero_fills(self, handle):
+        handle.write(b"ab")
+        handle.truncate(10)
+        handle.seek(0)
+        assert handle.read() == b"ab" + bytes(8)
+
+    def test_truncate_at_cursor(self, handle):
+        handle.write(pattern_bytes(100))
+        handle.seek(40)
+        handle.truncate()
+        assert handle.size() == 40
+
+
+class TestByteRangeExtensions:
+    def test_insert_at_shifts_cursor(self, handle):
+        handle.write(b"helloworld")
+        handle.seek(7)
+        handle.insert_at(5, b", ")
+        handle.seek(0)
+        assert handle.read() == b"hello, world"
+        assert handle.tell() == 12
+
+    def test_delete_range_adjusts_cursor(self, handle):
+        handle.write(b"hello, world")
+        handle.seek(9)
+        handle.delete_range(5, 2)
+        handle.seek(0)
+        assert handle.read() == b"helloworld"
+
+    def test_cursor_inside_deleted_range(self, handle):
+        handle.write(bytes(100))
+        handle.seek(50)
+        handle.delete_range(40, 30)
+        assert handle.tell() == 40
+
+
+class TestIOProtocol:
+    def test_is_raw_io(self, handle):
+        assert isinstance(handle, io.RawIOBase)
+        assert handle.readable() and handle.writable() and handle.seekable()
+
+    def test_buffered_wrapper_works(self, handle):
+        handle.write(pattern_bytes(4 * PAGE))
+        handle.seek(0)
+        buffered = io.BufferedReader(handle)
+        assert buffered.read(10) == pattern_bytes(4 * PAGE)[:10]
+
+    def test_closed_file_rejects_io(self, handle):
+        handle.write(b"abc")
+        handle.close()
+        with pytest.raises(ValueError):
+            handle.read()

@@ -1,0 +1,82 @@
+"""Unit tests for the analytic I/O cost model (Section 4.1)."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.disk.iomodel import CostModel, IOStats
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        stats = IOStats()
+        assert stats.io_calls == 0
+        assert stats.pages_transferred == 0
+        assert stats.elapsed_ms(PAPER_CONFIG) == 0.0
+
+    def test_paper_example_single_call(self):
+        # "the I/O cost of reading a 3-block (12K-byte) segment is
+        #  33 + 4 x 3 = 45 milliseconds"
+        stats = IOStats(read_calls=1, pages_read=3)
+        assert stats.elapsed_ms(PAPER_CONFIG) == pytest.approx(45.0)
+
+    def test_paper_example_three_calls(self):
+        # "the cost of reading the same number of blocks with 3 I/O calls
+        #  is (33 + 4) x 3 = 111 milliseconds"
+        stats = IOStats(read_calls=3, pages_read=3)
+        assert stats.elapsed_ms(PAPER_CONFIG) == pytest.approx(111.0)
+
+    def test_add_accumulates(self):
+        a = IOStats(read_calls=1, pages_read=2)
+        b = IOStats(write_calls=3, pages_written=4)
+        a.add(b)
+        assert a.io_calls == 4
+        assert a.pages_transferred == 6
+
+    def test_delta(self):
+        earlier = IOStats(read_calls=1, pages_read=1)
+        later = IOStats(read_calls=4, pages_read=9, write_calls=2,
+                        pages_written=5)
+        delta = later.delta(earlier)
+        assert delta.read_calls == 3
+        assert delta.pages_read == 8
+        assert delta.write_calls == 2
+
+    def test_copy_is_independent(self):
+        stats = IOStats(read_calls=1)
+        snapshot = stats.copy()
+        stats.read_calls = 10
+        assert snapshot.read_calls == 1
+
+
+class TestCostModel:
+    def test_charge_read(self):
+        model = CostModel(PAPER_CONFIG)
+        model.charge_read(3)
+        assert model.stats.read_calls == 1
+        assert model.stats.pages_read == 3
+
+    def test_charge_write(self):
+        model = CostModel(PAPER_CONFIG)
+        model.charge_write(2)
+        assert model.stats.write_calls == 1
+        assert model.stats.pages_written == 2
+
+    def test_rejects_empty_transfers(self):
+        model = CostModel(PAPER_CONFIG)
+        with pytest.raises(ValueError):
+            model.charge_read(0)
+        with pytest.raises(ValueError):
+            model.charge_write(-1)
+
+    def test_elapsed_since_snapshot(self):
+        model = CostModel(PAPER_CONFIG)
+        model.charge_read(1)
+        snapshot = model.snapshot()
+        model.charge_read(3)
+        assert model.elapsed_since(snapshot) == pytest.approx(45.0)
+
+    def test_reset(self):
+        model = CostModel(PAPER_CONFIG)
+        model.charge_write(5)
+        model.reset()
+        assert model.stats.io_calls == 0

@@ -1,0 +1,125 @@
+"""Property-based tests: every manager agrees with a bytearray model.
+
+This is the strongest correctness statement in the suite: arbitrary
+sequences of byte-range operations, executed against each storage scheme
+in real-bytes mode, must produce exactly the bytes a plain ``bytearray``
+model produces, while all structural invariants hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import small_page_config
+
+CONFIG = small_page_config()
+SCHEME_SETTINGS = [
+    ("esm", {"leaf_pages": 1}),
+    ("esm", {"leaf_pages": 2}),
+    ("esm", {"leaf_pages": 4, "improved_insert": False}),
+    ("starburst", {}),
+    ("eos", {"threshold_pages": 1}),
+    ("eos", {"threshold_pages": 2}),
+    ("eos", {"threshold_pages": 8}),
+]
+
+operation = st.tuples(
+    st.sampled_from(["append", "insert", "delete", "replace", "read"]),
+    st.integers(min_value=0, max_value=10_000),  # position selector
+    st.integers(min_value=1, max_value=700),  # size
+)
+
+
+def apply_ops(store, ops, check_every=5):
+    ref = bytearray()
+    oid = store.create()
+    salt = 0
+    for index, (kind, position, size) in enumerate(ops):
+        salt += 1
+        payload = bytes((salt + i) % 251 for i in range(size))
+        if kind == "append":
+            store.append(oid, payload)
+            ref.extend(payload)
+        elif kind == "insert":
+            offset = position % (len(ref) + 1)
+            store.insert(oid, offset, payload)
+            ref[offset:offset] = payload
+        elif kind == "delete" and ref:
+            offset = position % len(ref)
+            n = min(size, len(ref) - offset)
+            store.delete(oid, offset, n)
+            del ref[offset : offset + n]
+        elif kind == "replace" and ref:
+            offset = position % len(ref)
+            n = min(size, len(ref) - offset)
+            store.replace(oid, offset, payload[:n])
+            ref[offset : offset + n] = payload[:n]
+        elif kind == "read" and ref:
+            offset = position % len(ref)
+            n = min(size, len(ref) - offset)
+            assert store.read(oid, offset, n) == bytes(ref[offset : offset + n])
+        if index % check_every == 0:
+            _full_check(store, oid, ref)
+    _full_check(store, oid, ref)
+    # No dangling references, double references, or leaked pages.
+    from repro.core.fsck import check as fsck_check
+
+    report = fsck_check([(store.manager, [oid])])
+    assert report.clean, report.summary()
+
+
+def _full_check(store, oid, ref):
+    assert store.size(oid) == len(ref)
+    if ref:
+        assert store.read(oid, 0, len(ref)) == bytes(ref)
+    manager = store.manager
+    if store.scheme in ("esm", "eos"):
+        manager.tree_of(oid).check_invariants()
+    else:
+        manager.descriptor_of(oid).check_invariants()
+    store.env.areas.check_invariants()
+
+
+@pytest.mark.parametrize("scheme,options", SCHEME_SETTINGS)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(operation, min_size=1, max_size=40))
+def test_manager_matches_bytearray_model(scheme, options, ops):
+    store = LargeObjectStore(scheme, CONFIG, **options)
+    apply_ops(store, ops)
+
+
+@pytest.mark.parametrize("scheme,options", SCHEME_SETTINGS[:2] + SCHEME_SETTINGS[3:5])
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(operation, min_size=1, max_size=40))
+def test_manager_without_shadowing_matches_model(scheme, options, ops):
+    """The ablation configuration must be just as correct."""
+    store = LargeObjectStore(scheme, CONFIG, shadowing=False, **options)
+    apply_ops(store, ops)
+
+
+def test_all_schemes_agree_on_one_long_script():
+    """A single deep deterministic script, run against every scheme."""
+    import random
+
+    rng = random.Random(2024)
+    ops = []
+    for _ in range(250):
+        ops.append(
+            (
+                rng.choice(["append", "insert", "delete", "replace", "read"]),
+                rng.randrange(10_000),
+                rng.randint(1, 700),
+            )
+        )
+    for scheme, options in SCHEME_SETTINGS:
+        store = LargeObjectStore(scheme, CONFIG, **options)
+        apply_ops(store, ops, check_every=25)

@@ -1,0 +1,165 @@
+"""Tests for the slotted record page."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageCorruptionError
+from repro.records.page import PageFullError, SlottedPage
+
+PAGE = 256
+
+
+class TestInsertGet:
+    def test_roundtrip(self):
+        page = SlottedPage(PAGE)
+        slot = page.insert(b"hello")
+        assert page.get(slot) == b"hello"
+        page.check_invariants()
+
+    def test_multiple_records(self):
+        page = SlottedPage(PAGE)
+        slots = [page.insert(bytes([i]) * (i + 1)) for i in range(5)]
+        for i, slot in enumerate(slots):
+            assert page.get(slot) == bytes([i]) * (i + 1)
+
+    def test_page_full(self):
+        page = SlottedPage(PAGE)
+        with pytest.raises(PageFullError):
+            page.insert(b"x" * PAGE)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(Exception):
+            SlottedPage(PAGE).insert(b"")
+
+
+class TestDelete:
+    def test_delete_keeps_other_slots_stable(self):
+        page = SlottedPage(PAGE)
+        a = page.insert(b"aaa")
+        b = page.insert(b"bbb")
+        page.delete(a)
+        assert page.get(b) == b"bbb"
+        assert not page.slot_in_use(a)
+
+    def test_deleted_slot_is_reused(self):
+        page = SlottedPage(PAGE)
+        a = page.insert(b"aaa")
+        page.insert(b"bbb")
+        page.delete(a)
+        c = page.insert(b"ccc")
+        assert c == a
+
+    def test_double_delete_rejected(self):
+        page = SlottedPage(PAGE)
+        a = page.insert(b"aaa")
+        page.delete(a)
+        with pytest.raises(StorageCorruptionError):
+            page.delete(a)
+
+
+class TestCompaction:
+    def test_space_reclaimed_after_deletes(self):
+        page = SlottedPage(PAGE)
+        big = (PAGE - 64) // 2
+        a = page.insert(b"a" * big)
+        page.insert(b"b" * big)
+        page.delete(a)
+        # Doesn't fit contiguously until compaction runs inside insert.
+        c = page.insert(b"c" * big)
+        assert page.get(c) == b"c" * big
+        page.check_invariants()
+
+    def test_compact_preserves_records(self):
+        page = SlottedPage(PAGE)
+        slots = [page.insert(bytes([65 + i]) * 10) for i in range(6)]
+        for slot in slots[::2]:
+            page.delete(slot)
+        page.compact()
+        for i, slot in enumerate(slots):
+            if i % 2 == 1:
+                assert page.get(slot) == bytes([65 + i]) * 10
+        page.check_invariants()
+
+
+class TestUpdate:
+    def test_shrinking_update_in_place(self):
+        page = SlottedPage(PAGE)
+        slot = page.insert(b"long record body")
+        page.update(slot, b"short")
+        assert page.get(slot) == b"short"
+
+    def test_growing_update_relocates(self):
+        page = SlottedPage(PAGE)
+        slot = page.insert(b"ab")
+        page.insert(b"other")
+        page.update(slot, b"much longer body than before")
+        assert page.get(slot) == b"much longer body than before"
+        page.check_invariants()
+
+    def test_overflowing_update_rejected_and_undone(self):
+        page = SlottedPage(PAGE)
+        slot = page.insert(b"small")
+        with pytest.raises(PageFullError):
+            page.update(slot, b"x" * PAGE)
+        assert page.get(slot) == b"small"
+
+
+class TestImage:
+    def test_image_roundtrip(self):
+        page = SlottedPage(PAGE)
+        slots = [page.insert(bytes([i]) * 7) for i in range(4)]
+        page.delete(slots[1])
+        reloaded = SlottedPage(PAGE, image=page.image)
+        assert reloaded.live_slots() == page.live_slots()
+        for slot in reloaded.live_slots():
+            assert reloaded.get(slot) == page.get(slot)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StorageCorruptionError):
+            SlottedPage(PAGE, image=bytes(PAGE))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(StorageCorruptionError):
+            SlottedPage(PAGE, image=bytes(PAGE - 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "update"]),
+            st.integers(min_value=1, max_value=60),
+        ),
+        max_size=40,
+    )
+)
+def test_random_operations_match_model(script):
+    """Property: a slotted page agrees with a dict model."""
+    page = SlottedPage(PAGE)
+    model: dict[int, bytes] = {}
+    counter = 0
+    for action, size in script:
+        counter += 1
+        body = bytes((counter + i) % 251 or 1 for i in range(size))
+        if action == "insert":
+            try:
+                slot = page.insert(body)
+            except PageFullError:
+                continue
+            model[slot] = body
+        elif action == "delete" and model:
+            slot = sorted(model)[size % len(model)]
+            page.delete(slot)
+            del model[slot]
+        elif action == "update" and model:
+            slot = sorted(model)[size % len(model)]
+            try:
+                page.update(slot, body)
+            except PageFullError:
+                continue
+            model[slot] = body
+        page.check_invariants()
+        assert set(page.live_slots()) == set(model)
+        for slot, expected in model.items():
+            assert page.get(slot) == expected

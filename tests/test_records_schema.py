@@ -1,0 +1,84 @@
+"""Tests for record schemas and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.records.schema import Field, FieldKind, Schema, SchemaError
+
+
+@pytest.fixture
+def person():
+    # The paper's example: name (short), picture and voice (long).
+    return Schema.of(name="text", age="int", picture="long", voice="long")
+
+
+class TestSchemaConstruction:
+    def test_of_builds_ordered_fields(self, person):
+        assert [f.name for f in person.fields] == [
+            "name", "age", "picture", "voice",
+        ]
+        assert person.field("picture").kind is FieldKind.LONG
+
+    def test_long_fields(self, person):
+        assert [f.name for f in person.long_fields()] == ["picture", "voice"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", FieldKind.INT), Field("a", FieldKind.TEXT)])
+
+    def test_unknown_field_lookup(self, person):
+        with pytest.raises(SchemaError):
+            person.field("nope")
+
+
+class TestSerialization:
+    def test_roundtrip(self, person):
+        values = {"name": "Ada", "age": 36, "picture": 7, "voice": 12}
+        assert person.deserialize(person.serialize(values)) == values
+
+    def test_unicode_text(self, person):
+        values = {"name": "Ada 🧮 Byron", "age": -1, "picture": 0, "voice": 0}
+        assert person.deserialize(person.serialize(values)) == values
+
+    def test_missing_field_rejected(self, person):
+        with pytest.raises(SchemaError):
+            person.serialize({"name": "x", "age": 1, "picture": 2})
+
+    def test_unknown_field_rejected(self, person):
+        with pytest.raises(SchemaError):
+            person.serialize(
+                {"name": "x", "age": 1, "picture": 2, "voice": 3, "zz": 4}
+            )
+
+    def test_type_checks(self, person):
+        base = {"name": "x", "age": 1, "picture": 2, "voice": 3}
+        with pytest.raises(SchemaError):
+            person.serialize({**base, "age": "not an int"})
+        with pytest.raises(SchemaError):
+            person.serialize({**base, "name": 42})
+        with pytest.raises(SchemaError):
+            person.serialize({**base, "picture": -1})
+
+    def test_trailing_bytes_rejected(self, person):
+        data = person.serialize(
+            {"name": "x", "age": 1, "picture": 2, "voice": 3}
+        )
+        with pytest.raises(SchemaError):
+            person.deserialize(data + b"!")
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    name=st.text(max_size=50),
+    age=st.integers(min_value=-(2**62), max_value=2**62),
+    picture=st.integers(min_value=0, max_value=2**40),
+)
+def test_roundtrip_property(name, age, picture):
+    schema = Schema.of(name="text", age="int", picture="long")
+    values = {"name": name, "age": age, "picture": picture}
+    assert schema.deserialize(schema.serialize(values)) == values

@@ -1,0 +1,35 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.analysis.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.12345,), (12.345,), (1234.5,)])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1234" in out
+
+    def test_empty_rows(self):
+        out = format_table(("a", "b"), [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatSeries:
+    def test_title_and_columns(self):
+        out = format_series(
+            "x", [1, 2], {"s1": [10, 20], "s2": [30, 40]}, title="T"
+        )
+        assert out.startswith("T\n")
+        assert "s1" in out and "s2" in out
+        assert "40" in out
+
+    def test_short_series_padded(self):
+        out = format_series("x", [1, 2, 3], {"s": [10]})
+        assert out.count("\n") == 4  # header, rule, 3 rows

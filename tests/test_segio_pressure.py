@@ -1,0 +1,91 @@
+"""Segment I/O behaviour under buffer-pool pressure."""
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.core.config import small_page_config
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel
+from repro.segio import SegmentIO
+
+PAGE = 128
+
+
+def make(pool_pages=4, max_buffered=4):
+    config = small_page_config(
+        page_size=PAGE,
+        buffer_pool_pages=pool_pages,
+        max_buffered_segment_pages=max_buffered,
+    )
+    cost = CostModel(config)
+    disk = SimulatedDisk(config, cost)
+    pool = BufferPool(config, disk)
+    return cost, disk, pool, SegmentIO(config, pool)
+
+
+def pin_all(pool, start=900):
+    for i in range(pool.capacity):
+        pool.fix(start + i)
+    return [start + i for i in range(pool.capacity)]
+
+
+class TestFullyPinnedPool:
+    def test_small_reads_fall_back_to_direct_io(self):
+        cost, disk, pool, segio = make()
+        disk.poke_pages(10, b"A" * PAGE * 2)
+        pin_all(pool)
+        data = segio.read_pages(10, 2)
+        assert data == b"A" * PAGE * 2
+        assert not pool.is_resident(10)
+
+    def test_boundary_read_falls_back_without_caching(self):
+        cost, disk, pool, segio = make()
+        disk.poke_pages(10, bytes(range(100, 228)) * 8)
+        pin_all(pool)
+        got = segio.read_boundary_unaligned(10, 5, 8 * PAGE - 10)
+        assert len(got) == 8 * PAGE - 10
+        assert not pool.is_resident(10)
+        assert not pool.is_resident(17)
+
+    def test_unpinning_restores_buffering(self):
+        cost, disk, pool, segio = make()
+        pinned = pin_all(pool)
+        for page in pinned:
+            pool.unfix(page)
+        segio.read_pages(10, 2)
+        assert pool.is_resident(10)
+
+
+class TestPartialPressure:
+    def test_run_larger_than_evictable_bypasses(self):
+        cost, disk, pool, segio = make(pool_pages=4, max_buffered=4)
+        pinned = pin_all(pool)
+        pool.unfix(pinned[0])
+        pool.unfix(pinned[1])
+        # Only two frames are evictable: a 3-page run cannot be buffered.
+        segio.read_pages(10, 3)
+        assert not pool.is_resident(10)
+        # But a 2-page run can.
+        segio.read_pages(20, 2)
+        assert pool.is_resident(20)
+
+
+class TestConsistencyUnderPressure:
+    def test_direct_reads_see_latest_writes(self):
+        cost, disk, pool, segio = make()
+        segio.write_pages(10, b"v1" + bytes(PAGE * 6 - 2))
+        pin_all(pool)
+        assert segio.read_pages(10, 6)[:2] == b"v1"
+        # Overwrite while pool is pinned; direct read must see it.
+        segio.write_pages(10, b"v2" + bytes(PAGE * 6 - 2))
+        assert segio.read_pages(10, 6)[:2] == b"v2"
+
+    def test_resident_boundary_pages_win_over_disk(self):
+        cost, disk, pool, segio = make(pool_pages=12)
+        disk.poke_pages(10, b"X" * PAGE * 8)
+        segio.read_pages(10, 1)  # page 10 cached
+        # A large bypass read should reuse the cached boundary page.
+        before = cost.stats.pages_read
+        data = segio.read_pages(10, 8)
+        assert data[:PAGE] == b"X" * PAGE
+        assert cost.stats.pages_read - before == 7  # middle+last only

@@ -1,0 +1,152 @@
+"""Hypothesis stateful machines for the substrate components.
+
+These drive the buffer pool and the buddy allocator through arbitrary
+interleavings of their operations, checking them against simple
+reference models after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.buddy.allocator import BuddyAllocator
+from repro.buffer.pool import BufferPool
+from repro.core.config import small_page_config
+from repro.core.errors import BufferPoolError, OutOfSpaceError
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel
+
+CONFIG = small_page_config(page_size=128, buffer_pool_pages=4)
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """The pool must always return current page content and respect pins."""
+
+    def __init__(self):
+        super().__init__()
+        self.cost = CostModel(CONFIG)
+        self.disk = SimulatedDisk(CONFIG, self.cost)
+        self.pool = BufferPool(CONFIG, self.disk)
+        #: Reference content per page id.
+        self.content: dict[int, bytes] = {}
+        #: Outstanding pins per page id.
+        self.pins: dict[int, int] = {}
+        for page in range(8):
+            data = bytes([page]) * CONFIG.page_size
+            self.disk.poke_pages(page, data)
+            self.content[page] = data
+
+    pages = st.integers(min_value=0, max_value=7)
+
+    @rule(page=pages)
+    def fix_page(self, page):
+        if self.pool.free_or_evictable() == 0 and not self.pool.is_resident(
+            page
+        ):
+            try:
+                self.pool.fix(page)
+            except BufferPoolError:
+                return  # all frames pinned: correct refusal
+            raise AssertionError("fix should have failed with all pins")
+        frame = self.pool.fix(page)
+        assert frame.content() == self.content[page]
+        self.pins[page] = self.pins.get(page, 0) + 1
+
+    @rule(page=pages)
+    def unfix_page(self, page):
+        if self.pins.get(page, 0) > 0:
+            self.pool.unfix(page)
+            self.pins[page] -= 1
+
+    @rule(page=pages, salt=st.integers(min_value=0, max_value=255))
+    def write_page(self, page, salt):
+        """Model a write-through update (disk + resident copy)."""
+        data = bytes([salt]) * CONFIG.page_size
+        self.disk.write_pages(page, 1, data)
+        self.pool.update_if_resident(page, data)
+        self.content[page] = data
+
+    @rule(start=st.integers(min_value=0, max_value=5),
+          count=st.integers(min_value=1, max_value=3))
+    def read_run(self, start, count):
+        if not self.pool.can_accommodate(count):
+            return
+        data = self.pool.read_run(start, count)
+        expected = b"".join(
+            self.content[start + i] for i in range(count)
+        )
+        assert data == expected
+
+    @invariant()
+    def pool_never_overflows(self):
+        assert len(self.pool._frames) <= self.pool.capacity
+
+    @invariant()
+    def resident_content_is_current(self):
+        for page_id, frame in self.pool._frames.items():
+            if not frame.dirty:
+                assert frame.content() == self.content[page_id]
+
+
+class BuddyAllocatorMachine(RuleBasedStateMachine):
+    """Allocations never overlap; frees restore capacity exactly."""
+
+    def __init__(self):
+        super().__init__()
+        cost = CostModel(CONFIG)
+        disk = SimulatedDisk(CONFIG, cost)
+        pool = BufferPool(CONFIG, disk)
+        self.allocator = BuddyAllocator(CONFIG, pool, 0, name="m")
+        self.live: list[tuple[int, int]] = []
+
+    @rule(pages=st.integers(min_value=1, max_value=40))
+    def allocate(self, pages):
+        if pages > CONFIG.max_segment_pages:
+            return
+        try:
+            start = self.allocator.allocate(pages)
+        except OutOfSpaceError:
+            return
+        new = set(range(start, start + pages))
+        for other_start, other_pages in self.live:
+            assert not new & set(range(other_start, other_start + other_pages))
+        self.live.append((start, pages))
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    @precondition(lambda self: self.live)
+    def free_whole(self, index):
+        start, pages = self.live.pop(index % len(self.live))
+        self.allocator.free(start, pages)
+
+    @rule(index=st.integers(min_value=0, max_value=10**6),
+          keep=st.integers(min_value=1, max_value=39))
+    @precondition(lambda self: any(p > 1 for _s, p in self.live))
+    def free_tail(self, index, keep):
+        candidates = [i for i, (_s, p) in enumerate(self.live) if p > 1]
+        slot = candidates[index % len(candidates)]
+        start, pages = self.live[slot]
+        kept = min(keep, pages - 1)
+        self.allocator.free(start + kept, pages - kept)
+        self.live[slot] = (start, kept)
+
+    @invariant()
+    def accounting_matches(self):
+        assert self.allocator.allocated_pages == sum(
+            pages for _start, pages in self.live
+        )
+        self.allocator.check_invariants()
+
+
+TestBufferPoolMachine = BufferPoolMachine.TestCase
+TestBufferPoolMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestBuddyAllocatorMachine = BuddyAllocatorMachine.TestCase
+TestBuddyAllocatorMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,158 @@
+"""Deeper positional-tree tests: multi-level navigation and maintenance."""
+
+import pytest
+
+from repro.buddy.area import DATA_AREA_BASE
+from repro.core.config import small_page_config
+from repro.core.env import StorageEnvironment
+from repro.tree.node import LeafExtent
+from repro.tree.tree import PositionalTree
+
+
+@pytest.fixture
+def env():
+    return StorageEnvironment(small_page_config(page_size=128))
+
+
+def make_tree(env, extents=0, size=10):
+    tree = PositionalTree(
+        env.config, env.pool, env.areas.meta, data_base=DATA_AREA_BASE
+    )
+    tree.create()
+    for _ in range(extents):
+        tree.append_extent(extent(env, size))
+    tree.end_op()
+    return tree
+
+
+def extent(env, nbytes):
+    pages = max(1, -(-nbytes // env.config.page_size))
+    page_id = env.areas.data.allocate(pages)
+    return LeafExtent(page_id=page_id, used_bytes=nbytes, alloc_pages=pages)
+
+
+class TestMultiLevelNavigation:
+    def test_extents_covering_across_node_boundaries(self, env):
+        fanout = env.config.root_fanout
+        count = fanout * 3  # three leaf-parent nodes after splitting
+        tree = make_tree(env, extents=count, size=10)
+        assert tree.height >= 2
+        covering = tree.extents_covering(0, count * 10)
+        assert len(covering) == count
+        starts = [start for _extent, start in covering]
+        assert starts == list(range(0, count * 10, 10))
+
+    def test_locate_every_extent_in_three_level_tree(self, env):
+        count = env.config.root_fanout * env.config.node_fanout + 5
+        tree = make_tree(env, extents=count, size=1)
+        assert tree.height == 3
+        for offset in (0, 1, count // 2, count - 1):
+            cursor = tree.locate(offset)
+            assert cursor.extent_start == offset
+            assert len(cursor.path) == 3
+
+    def test_neighbors_across_node_boundary(self, env):
+        fanout = env.config.root_fanout
+        tree = make_tree(env, extents=fanout + 2, size=10)
+        assert tree.height == 2
+        # Find the boundary between the two leaf-parent nodes.
+        root = tree._peek_node(tree.root_page_id)
+        first_child_bytes = root.entries[0].bytes_count
+        cursor = tree.locate(first_child_bytes)  # first extent of node 2
+        left, right = tree.neighbors(cursor)
+        assert left is not None
+        assert right is not None
+        assert (
+            left.used_bytes + cursor.extent.used_bytes <= first_child_bytes
+            or left is not None
+        )
+
+    def test_replace_span_across_node_boundary(self, env):
+        fanout = env.config.root_fanout
+        count = fanout + 4
+        tree = make_tree(env, extents=count, size=10)
+        root = tree._peek_node(tree.root_page_id)
+        boundary = root.entries[0].bytes_count
+        # Replace a span straddling the boundary with one big extent.
+        span_start = boundary - 20
+        tree.replace_span(span_start, 40, [extent(env, 40)])
+        tree.end_op()
+        tree.check_invariants()
+        assert tree.total_bytes == count * 10
+        cursor = tree.locate(span_start)
+        assert cursor.extent.used_bytes == 40
+
+
+class TestEndOpBehaviour:
+    def test_contiguous_dirty_pages_flush_in_one_call(self, env):
+        tree = make_tree(env)
+        # Force many splits in one op: freshly allocated sibling pages are
+        # adjacent in the meta area, so the flush groups them.
+        tree.begin_op()
+        for _ in range(env.config.root_fanout + 2):
+            tree.append_extent(extent(env, 10))
+        before = env.cost.stats.write_calls
+        pages_dirty = len(tree._dirty)
+        tree.end_op()
+        calls = env.cost.stats.write_calls - before
+        assert calls <= pages_dirty  # grouping can only reduce calls
+
+    def test_read_only_op_flushes_nothing(self, env):
+        tree = make_tree(env, extents=20)
+        before = env.cost.stats.write_calls
+        tree.begin_op()
+        tree.locate(55)
+        tree.extents_covering(0, 100)
+        tree.end_op()
+        assert env.cost.stats.write_calls == before
+
+    def test_root_write_is_never_charged(self, env):
+        tree = make_tree(env)
+        before = env.cost.stats.write_calls
+        tree.begin_op()
+        tree.append_extent(extent(env, 10))  # dirties only the root
+        tree.end_op()
+        assert env.cost.stats.write_calls == before
+
+
+class TestIndexCostAccounting:
+    def test_deep_tree_charges_node_reads_on_cold_pool(self, env):
+        fanout = env.config.root_fanout
+        tree = make_tree(env, extents=fanout + 2, size=10)
+        # Evict everything by churning the pool with unrelated pages.
+        filler = env.areas.data.allocate(env.config.buffer_pool_pages)
+        for i in range(env.config.buffer_pool_pages):
+            env.pool.fix(filler + i)
+            env.pool.unfix(filler + i)
+        before = env.cost.stats.read_calls
+        tree.locate(5)
+        assert env.cost.stats.read_calls > before
+
+    def test_warm_pool_locates_for_free(self, env):
+        fanout = env.config.root_fanout
+        tree = make_tree(env, extents=fanout + 2, size=10)
+        tree.locate(5)
+        before = env.cost.stats.read_calls
+        tree.locate(6)
+        assert env.cost.stats.read_calls == before
+
+
+class TestMetaSpaceHygiene:
+    def test_long_edit_sequences_do_not_leak_index_pages(self, env):
+        tree = make_tree(env, extents=40, size=50)
+        for step in range(120):
+            tree.begin_op()
+            start = (step * 137) % (tree.total_bytes - 50)
+            cursor = tree.locate(start)
+            span_start = cursor.extent_start
+            tree.replace_span(
+                span_start,
+                cursor.extent.used_bytes,
+                [extent(env, 30), extent(env, 20)]
+                if step % 2
+                else [extent(env, 50)],
+            )
+            tree.end_op()
+        tree.check_invariants()
+        # Index pages in the meta area match the live node count exactly.
+        assert env.areas.meta.allocated_pages == tree.index_page_count()

@@ -1,0 +1,136 @@
+"""Unit tests for index node serialization (Section 2.1 layout)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buddy.area import DATA_AREA_BASE, META_AREA_BASE
+from repro.core.config import (
+    NODE_HEADER_BYTES,
+    ROOT_HEADER_BYTES,
+    small_page_config,
+)
+from repro.core.errors import StorageCorruptionError
+from repro.tree.node import (
+    Entry,
+    IndexNode,
+    LeafExtent,
+    node_header_size,
+    root_header_size,
+)
+
+CONFIG = small_page_config(page_size=256)
+
+
+def leaf_alloc(used, _rightmost, page_size=256):
+    return -(-used // page_size)
+
+
+class TestHeaderSizes:
+    def test_root_header_matches_config_constant(self):
+        assert root_header_size() == ROOT_HEADER_BYTES
+
+    def test_node_header_matches_config_constant(self):
+        assert node_header_size() == NODE_HEADER_BYTES
+
+
+class TestLeafExtent:
+    def test_used_pages(self):
+        extent = LeafExtent(page_id=0, used_bytes=257, alloc_pages=2)
+        assert extent.used_pages(256) == 2
+        assert extent.free_bytes(256) == 255
+
+
+class TestSerialization:
+    def test_internal_node_roundtrip(self):
+        node = IndexNode(page_id=META_AREA_BASE + 5, level=2)
+        node.entries = [
+            Entry(100, META_AREA_BASE + 10),
+            Entry(250, META_AREA_BASE + 11),
+        ]
+        data = node.serialize(
+            CONFIG, is_root=False,
+            data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+        )
+        rebuilt, _total, _rm = IndexNode.deserialize(
+            data, node.page_id, is_root=False,
+            data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+            leaf_alloc_pages=leaf_alloc,
+        )
+        assert rebuilt.level == 2
+        assert rebuilt.entry_bytes() == [100, 250]
+        assert [e.ref for e in rebuilt.entries] == [
+            META_AREA_BASE + 10, META_AREA_BASE + 11
+        ]
+
+    def test_leaf_parent_root_roundtrip(self):
+        node = IndexNode(page_id=META_AREA_BASE + 1, level=1)
+        node.entries = [
+            Entry(300, LeafExtent(DATA_AREA_BASE + 7, 300, 2)),
+            Entry(90, LeafExtent(DATA_AREA_BASE + 20, 90, 1)),
+        ]
+        data = node.serialize(
+            CONFIG, is_root=True, total_bytes=390, rightmost_alloc=1,
+            data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+        )
+        rebuilt, total, rightmost = IndexNode.deserialize(
+            data, node.page_id, is_root=True,
+            data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+            leaf_alloc_pages=leaf_alloc,
+        )
+        assert total == 390
+        assert rightmost == 1
+        assert rebuilt.entry_bytes() == [300, 90]
+        first = rebuilt.entries[0].ref
+        assert isinstance(first, LeafExtent)
+        assert first.page_id == DATA_AREA_BASE + 7
+        assert first.alloc_pages == 2
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(StorageCorruptionError):
+            IndexNode.deserialize(
+                bytes(256), 1, is_root=False,
+                data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+                leaf_alloc_pages=leaf_alloc,
+            )
+
+    def test_overfull_node_rejected_at_serialize(self):
+        node = IndexNode(page_id=1, level=2)
+        node.entries = [Entry(1, META_AREA_BASE + i) for i in range(100)]
+        with pytest.raises(StorageCorruptionError):
+            node.serialize(
+                CONFIG, is_root=False,
+                data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=10_000),
+        min_size=1,
+        max_size=CONFIG.node_fanout,
+    ),
+    st.booleans(),
+)
+def test_roundtrip_preserves_counts(counts, is_root):
+    """Property: cumulative encoding round-trips arbitrary counts."""
+    if is_root and len(counts) > CONFIG.root_fanout:
+        counts = counts[: CONFIG.root_fanout]
+    page_id = META_AREA_BASE + 3
+    node = IndexNode(page_id=page_id, level=1)
+    node.entries = [
+        Entry(c, LeafExtent(DATA_AREA_BASE + i, c, leaf_alloc(c, False)))
+        for i, c in enumerate(counts)
+    ]
+    data = node.serialize(
+        CONFIG, is_root=is_root, total_bytes=sum(counts),
+        rightmost_alloc=node.entries[-1].ref.alloc_pages,
+        data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+    )
+    rebuilt, _t, _r = IndexNode.deserialize(
+        data, page_id, is_root=is_root,
+        data_base=DATA_AREA_BASE, meta_base=META_AREA_BASE,
+        leaf_alloc_pages=leaf_alloc,
+    )
+    assert rebuilt.entry_bytes() == counts

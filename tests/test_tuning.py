@@ -1,0 +1,68 @@
+"""Tests for the Section 4.6 parameter-selection helpers."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, small_page_config
+from repro.core.tuning import (
+    Goal,
+    recommend_eos_threshold_pages,
+    recommend_esm_leaf_pages,
+)
+
+KB = 1024
+
+
+class TestEosThreshold:
+    def test_never_below_four(self):
+        # "segments less than 4 blocks must be avoided"
+        assert recommend_eos_threshold_pages(100) >= 4
+        assert recommend_eos_threshold_pages(1) >= 4
+
+    def test_somewhat_larger_than_search_size(self):
+        # 10 KB searches -> 3 pages -> somewhat larger than that.
+        t = recommend_eos_threshold_pages(10 * KB)
+        assert t > 3
+        assert t <= 16
+
+    def test_static_objects_get_the_maximum(self):
+        t = recommend_eos_threshold_pages(10 * KB, update_heavy=False)
+        assert t == PAPER_CONFIG.max_segment_pages
+
+    def test_capped_at_max_segment(self):
+        t = recommend_eos_threshold_pages(
+            100 * 1024 * 1024, config=small_page_config()
+        )
+        assert t <= small_page_config().max_segment_pages
+
+    def test_monotone_in_operation_size(self):
+        small = recommend_eos_threshold_pages(100)
+        large = recommend_eos_threshold_pages(100 * KB)
+        assert large >= small
+
+
+class TestEsmLeaf:
+    def test_utilization_goal_prefers_one_page(self):
+        assert recommend_esm_leaf_pages(Goal.UTILIZATION, 100 * KB) == 1
+
+    def test_scan_goal_prefers_large_leaves(self):
+        assert recommend_esm_leaf_pages(Goal.SCANS) >= 16
+
+    def test_update_goal_tracks_operation_size(self):
+        # Figure 11: the best leaf size is the one closest to the
+        # insert size (16 pages for 100 KB inserts).
+        assert recommend_esm_leaf_pages(Goal.UPDATES, 100 * KB) == 16
+        assert recommend_esm_leaf_pages(Goal.UPDATES, 16 * KB) == 4
+        assert recommend_esm_leaf_pages(Goal.UPDATES, 100) == 1
+
+    def test_goal_accepts_strings(self):
+        assert recommend_esm_leaf_pages("balanced") >= 4
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_esm_leaf_pages("speed!!")
+
+    def test_conflict_is_real(self):
+        # The paper's point: no single leaf size wins both goals.
+        utilization = recommend_esm_leaf_pages(Goal.UTILIZATION, 10 * KB)
+        scans = recommend_esm_leaf_pages(Goal.SCANS, 10 * KB)
+        assert utilization != scans
