@@ -7,6 +7,7 @@ sawtooth) are visible in a terminal without any plotting dependency.
 
 from __future__ import annotations
 
+from repro.core.errors import InvalidArgumentError
 import math
 from typing import Mapping, Sequence
 
@@ -31,12 +32,12 @@ def ascii_plot(
     the y axis is linear, or logarithmic with ``log_y=True``.
     """
     if not xs or not series:
-        raise ValueError("nothing to plot")
+        raise InvalidArgumentError("nothing to plot")
     values = [
         v for ys in series.values() for v in ys if v is not None
     ]
     if not values:
-        raise ValueError("series contain no values")
+        raise InvalidArgumentError("series contain no values")
     y_min, y_max = min(values), max(values)
     transform = _make_transform(y_min, y_max, log_y)
 

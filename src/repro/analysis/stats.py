@@ -7,6 +7,7 @@ of per-operation cost samples collected by the workload runner.
 
 from __future__ import annotations
 
+from repro.core.errors import InvalidArgumentError
 import dataclasses
 import math
 from typing import Sequence
@@ -27,7 +28,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     if not values:
         return 0.0
     if not 0.0 <= q <= 100.0:
-        raise ValueError("percentile must be within [0, 100]")
+        raise InvalidArgumentError("percentile must be within [0, 100]")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

@@ -84,6 +84,7 @@ class BlockBasedManager(LargeObjectManager):
     # Lifecycle
     # ------------------------------------------------------------------
     def create(self, data: bytes = b"") -> int:
+        """Create an object as a chain of single data pages plus directory."""
         oid = self.env.areas.meta.allocate(1)
         self._objects[oid] = []
         self._directories[oid] = [oid]
@@ -94,6 +95,7 @@ class BlockBasedManager(LargeObjectManager):
         return oid
 
     def destroy(self, oid: int) -> None:
+        """Free every data page and directory page of the object."""
         pages = self._pages(oid)
         for page in pages:
             self.env.areas.data.free(page.page_id, 1)
@@ -103,12 +105,16 @@ class BlockBasedManager(LargeObjectManager):
         del self._directories[oid]
 
     def size(self, oid: int) -> int:
+        """Current object size in bytes (sum of per-page byte counts)."""
         return sum(page.used_bytes for page in self._pages(oid))
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        """Read a byte range one page per I/O call — the class's defining one-
+        seek-per-page cost.
+        """
         pages = self._pages(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -135,6 +141,9 @@ class BlockBasedManager(LargeObjectManager):
     # Updates
     # ------------------------------------------------------------------
     def append(self, oid: int, data: bytes) -> None:
+        """Append bytes, filling the last page before allocating new single-
+        block pages.
+        """
         pages = self._pages(oid)
         if not data:
             return
@@ -158,6 +167,9 @@ class BlockBasedManager(LargeObjectManager):
         self._sync_directory(oid)
 
     def insert(self, oid: int, offset: int, data: bytes) -> None:
+        """Insert bytes by splitting the affected page (no neighbour
+        rebalancing, so utilization degrades).
+        """
         pages = self._pages(oid)
         self._check_offset(oid, offset)
         if not data:
@@ -186,6 +198,7 @@ class BlockBasedManager(LargeObjectManager):
         self._sync_directory(oid)
 
     def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        """Delete a byte range, dropping pages that become empty."""
         pages = self._pages(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -218,6 +231,7 @@ class BlockBasedManager(LargeObjectManager):
         self._sync_directory(oid)
 
     def replace(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite bytes page by page, shadowing each affected page."""
         pages = self._pages(oid)
         self._check_range(oid, offset, len(data))
         if not data:
@@ -247,6 +261,7 @@ class BlockBasedManager(LargeObjectManager):
     # Accounting
     # ------------------------------------------------------------------
     def allocated_pages(self, oid: int) -> int:
+        """Data pages plus directory pages allocated to the object."""
         return len(self._pages(oid)) + len(self._directories[oid])
 
     def pages_of(self, oid: int) -> list[DataPage]:
@@ -361,11 +376,8 @@ class BlockBasedManager(LargeObjectManager):
         # update is the operation's commit point — it must land only after
         # every page it links to is safely on disk.
         for dir_page, image in images[1:]:
-            self.env.pool.disk.write_pages(
+            self.env.pool.write_run(
                 dir_page, 1, image.ljust(page_size, b"\x00"), record=True
-            )
-            self.env.pool.update_if_resident(
-                dir_page, image.ljust(page_size, b"\x00")
             )
         first_page, first_image = images[0]
         self.env.pool.disk.poke_pages(first_page, first_image)

@@ -19,6 +19,8 @@ content is produced lazily (only when the page is actually written back).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.buddy.directory import check_directory_fits, serialize_directory
 from repro.buddy.space import BuddySpace, ceil_log2
 from repro.buffer.pool import BufferPool
@@ -161,7 +163,9 @@ class BuddyAllocator:
         self._visit_directory(index, mutate=mutate)
         return result[0] if result else None
 
-    def _visit_directory(self, space_index: int, mutate) -> None:
+    def _visit_directory(
+        self, space_index: int, mutate: Callable[[], None]
+    ) -> None:
         """Fix the directory page, apply a mutation, correct the
         superdirectory, and unfix (dirty if the mutation changed state)."""
         space = self._spaces[space_index]

@@ -20,13 +20,17 @@ bitmap that is persisted in the space's one-page directory block.
 
 from __future__ import annotations
 
-from repro.core.errors import AllocationError, OutOfSpaceError
+from repro.core.errors import (
+    AllocationError,
+    InvalidArgumentError,
+    OutOfSpaceError,
+)
 
 
 def ceil_log2(n: int) -> int:
     """Smallest ``k`` with ``2**k >= n`` (``n`` must be positive)."""
     if n <= 0:
-        raise ValueError("n must be positive")
+        raise InvalidArgumentError("n must be positive")
     return (n - 1).bit_length()
 
 
@@ -35,7 +39,7 @@ class BuddySpace:
 
     def __init__(self, order: int) -> None:
         if order < 0:
-            raise ValueError("order must be non-negative")
+            raise InvalidArgumentError("order must be non-negative")
         self.order = order
         self.total_blocks = 1 << order
         #: free_sets[k] holds offsets of free extents of size 2**k.

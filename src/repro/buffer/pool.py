@@ -21,6 +21,7 @@ from repro.buffer.frame import Frame
 from repro.core.config import SystemConfig
 from repro.core.errors import BufferPoolError
 from repro.disk.disk import SimulatedDisk
+from repro.lint.contracts import pure_read
 
 
 @dataclasses.dataclass
@@ -107,19 +108,23 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @pure_read
     def lookup(self, page_id: int) -> Frame | None:
         """Return the resident frame for the page, if any (no I/O)."""
         return self._frames.get(page_id)
 
+    @pure_read
     def is_resident(self, page_id: int) -> bool:
         """True if the page is currently cached."""
         return page_id in self._frames
 
+    @pure_read
     def free_or_evictable(self) -> int:
         """Number of frames that are empty or hold unpinned pages."""
         unpinned = sum(1 for f in self._frames.values() if f.pin_count == 0)
         return (self.capacity - len(self._frames)) + unpinned
 
+    @pure_read
     def can_accommodate(self, n_pages: int) -> bool:
         """Whether a run of ``n_pages`` can be brought into the pool now.
 
@@ -176,6 +181,24 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Writeback and invalidation
     # ------------------------------------------------------------------
+    def write_run(self, start: int, n_pages: int, data: bytes,
+                  record: bool = True) -> None:
+        """Write a run of adjacent pages in one I/O, refreshing the cache.
+
+        The sanctioned path for layers above the pool to put page-aligned
+        images on disk without fixing frames: the write is charged as one
+        physical access and any resident copy is refreshed (clean) so
+        later buffered reads see the new content.
+        """
+        self.disk.write_pages(start, n_pages, data, record=record)
+        page_size = self.config.page_size
+        for i in range(n_pages):
+            if (start + i) in self._frames:
+                page = bytes(data[i * page_size : (i + 1) * page_size])
+                self.update_if_resident(
+                    start + i, page.ljust(page_size, b"\x00")
+                )
+
     def update_if_resident(self, page_id: int, data: bytes,
                            dirty: bool = False) -> None:
         """Refresh the cached copy of a page after it was written to disk."""

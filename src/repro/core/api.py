@@ -27,6 +27,7 @@ from repro.eos.manager import EOSManager, EOSOptions
 from repro.esm.manager import ESMManager, ESMOptions
 from repro.recovery.shadow import DEFAULT_SHADOW, NO_SHADOW
 from repro.starburst.manager import StarburstManager, StarburstOptions
+from repro.core.errors import InvalidArgumentError
 
 #: The three storage schemes analysed by the paper.
 SCHEMES = ("esm", "starburst", "eos")
@@ -63,7 +64,7 @@ def make_manager(
         )
     if scheme == "blockbased":
         return BlockBasedManager(env)
-    raise ValueError(
+    raise InvalidArgumentError(
         f"unknown scheme {scheme!r}; expected one of {ALL_SCHEMES}"
     )
 

@@ -21,6 +21,7 @@ smaller page sizes (used extensively in the tests) scale down consistently.
 
 from __future__ import annotations
 
+from repro.core.errors import ConfigurationError, InvalidArgumentError
 import dataclasses
 
 #: Bytes occupied by one (count, pointer) pair in an index page (4 + 4).
@@ -76,20 +77,20 @@ class SystemConfig:
 
     def __post_init__(self) -> None:
         if self.page_size < 64:
-            raise ValueError("page_size must be at least 64 bytes")
+            raise ConfigurationError("page_size must be at least 64 bytes")
         if self.page_size & (self.page_size - 1):
-            raise ValueError("page_size must be a power of two")
+            raise ConfigurationError("page_size must be a power of two")
         if self.buffer_pool_pages < 1:
-            raise ValueError("buffer_pool_pages must be positive")
+            raise ConfigurationError("buffer_pool_pages must be positive")
         if self.max_buffered_segment_pages < 1:
-            raise ValueError("max_buffered_segment_pages must be positive")
+            raise ConfigurationError("max_buffered_segment_pages must be positive")
         if self.max_segment_order > self.buddy_space_order:
-            raise ValueError(
+            raise ConfigurationError(
                 "max_segment_order cannot exceed buddy_space_order: a segment "
                 "must fit inside one buddy space"
             )
         if self.staging_buffer_bytes < self.page_size:
-            raise ValueError("staging buffer must hold at least one page")
+            raise ConfigurationError("staging buffer must hold at least one page")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -127,7 +128,7 @@ class SystemConfig:
     def pages_for_bytes(self, nbytes: int) -> int:
         """Number of pages needed to store ``nbytes`` bytes (ceiling)."""
         if nbytes < 0:
-            raise ValueError("nbytes must be non-negative")
+            raise InvalidArgumentError("nbytes must be non-negative")
         return -(-nbytes // self.page_size)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.core.api import make_manager
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.env import StorageEnvironment
-from repro.core.errors import ObjectNotFoundError, ReproError
+from repro.core.errors import DuplicateNameError, ObjectNotFoundError
 from repro.core.file import LargeObjectFile
 from repro.disk.iomodel import IOStats
 from repro.records.schema import Schema
@@ -26,10 +26,6 @@ from repro.records.store import RecordId, RecordStore
 
 #: Catalog schema: a name plus the long field holding the content.
 _CATALOG_SCHEMA = Schema.of(name="text", content="long")
-
-
-class DuplicateNameError(ReproError):
-    """An object with this name already exists."""
 
 
 class Database:
@@ -41,7 +37,7 @@ class Database:
         config: SystemConfig = PAPER_CONFIG,
         *,
         record_data: bool = True,
-        **manager_options,
+        **manager_options: object,
     ) -> None:
         from repro.recovery.shadow import DEFAULT_SHADOW
 

@@ -7,8 +7,12 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """A component was configured with inconsistent parameters."""
+
+
+class InvalidArgumentError(ReproError, ValueError):
+    """A caller passed an argument outside the accepted domain."""
 
 
 class OutOfSpaceError(ReproError):
@@ -33,3 +37,31 @@ class ByteRangeError(ReproError, ValueError):
 
 class StorageCorruptionError(ReproError):
     """An internal structural invariant was violated (a bug, if raised)."""
+
+
+class PageFullError(ReproError):
+    """The record does not fit in this page."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to its schema."""
+
+
+class LongFieldTooLargeError(ReproError):
+    """The descriptor page cannot hold another segment pointer."""
+
+
+class TraceError(ReproError):
+    """A trace line could not be parsed or applied."""
+
+
+class DuplicateNameError(ReproError):
+    """An object with this name already exists."""
+
+
+class CrashError(ReproError):
+    """Raised by the injector when the simulated system 'crashes'."""
+
+
+class ContractViolationError(StorageCorruptionError):
+    """A runtime ``@pure_read`` contract check failed (REPRO_DEBUG=1)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 import io
 import os
 
-from repro.core.errors import ByteRangeError
+from repro.core.errors import ByteRangeError, InvalidArgumentError
 from repro.core.manager import LargeObjectManager
 
 
@@ -54,7 +54,7 @@ class LargeObjectFile(io.RawIOBase):
         elif whence == os.SEEK_END:
             target = self.size() + offset
         else:
-            raise ValueError(f"invalid whence {whence}")
+            raise InvalidArgumentError(f"invalid whence {whence}")
         if target < 0:
             raise ByteRangeError("seek before start of object")
         self._position = target
@@ -72,12 +72,12 @@ class LargeObjectFile(io.RawIOBase):
         self._position += take
         return data
 
-    def readinto(self, buffer) -> int:
+    def readinto(self, buffer: bytearray | memoryview) -> int:
         data = self.read(len(buffer))
         buffer[: len(data)] = data
         return len(data)
 
-    def write(self, data) -> int:
+    def write(self, data: bytes | bytearray | memoryview) -> int:
         self._check_open()
         data = bytes(data)
         if not data:
@@ -137,4 +137,4 @@ class LargeObjectFile(io.RawIOBase):
 
     def _check_open(self) -> None:
         if self.closed:
-            raise ValueError("I/O operation on closed file")
+            raise InvalidArgumentError("I/O operation on closed file")

@@ -20,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.blockbased.manager import BlockBasedManager
+from repro.buddy.allocator import BuddyAllocator
+from repro.core.errors import InvalidArgumentError, ReproError
 from repro.core.manager import LargeObjectManager
 from repro.starburst.manager import StarburstManager
 from repro.tree.backed import TreeBackedManager
@@ -85,7 +87,7 @@ def object_page_runs(
             (page_id, 1) for page_id in manager._directories[oid]
         )
     else:  # pragma: no cover - future manager kinds
-        raise TypeError(f"cannot fsck manager of type {type(manager)!r}")
+        raise InvalidArgumentError(f"cannot fsck manager of type {type(manager)!r}")
     return data_runs, meta_runs
 
 
@@ -101,7 +103,7 @@ def check(
     against the pages the given objects reference.
     """
     if not managers_and_oids:
-        raise ValueError("nothing to check")
+        raise InvalidArgumentError("nothing to check")
     env = managers_and_oids[0][0].env
     referenced_data: dict[int, int] = {}
     referenced_meta: dict[int, int] = {}
@@ -110,7 +112,7 @@ def check(
 
     for manager, oids in managers_and_oids:
         if manager.env is not env:
-            raise ValueError("managers do not share an environment")
+            raise InvalidArgumentError("managers do not share an environment")
         for oid in oids:
             data_runs, meta_runs = object_page_runs(manager, oid)
             for runs, referenced in (
@@ -142,15 +144,105 @@ def check(
     )
 
 
-def _is_allocated(allocator, page_id: int) -> bool:
+def check_after_workload(
+    scheme: str,
+    *,
+    object_bytes: int = 20_000,
+    n_ops: int = 500,
+    mean_op_size: int = 100,
+    seed: int = 7,
+) -> FsckReport:
+    """Run a seeded random workload on a fresh store, then fsck it.
+
+    Builds a small-page store of the given scheme, creates one object of
+    ``object_bytes`` zero bytes, applies ``n_ops`` random operations from
+    the paper's workload generator, and cross-checks the surviving object
+    structure against the buddy allocator.
+    """
+    from repro.core.api import LargeObjectStore
+    from repro.core.config import small_page_config
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.runner import WorkloadRunner
+
+    store = LargeObjectStore(
+        scheme, small_page_config(), record_data=False
+    )
+    oid = store.create(bytes(object_bytes))
+    generator = WorkloadGenerator(store.size(oid), mean_op_size, seed=seed)
+    WorkloadRunner(store.manager, oid, generator).run(
+        n_ops, window=max(1, n_ops)
+    )
+    return check([(store.manager, [oid])])
+
+
+def cli_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments fsck``.
+
+    Exit status is 0 when every checked scheme is clean and 2 when any
+    inconsistency (dangling/double/leaked pages) was detected.
+    """
+    import argparse
+
+    from repro.core.api import ALL_SCHEMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments fsck",
+        description=(
+            "Run a seeded random workload against each storage scheme and "
+            "cross-check the object structures against the buddy allocator."
+        ),
+    )
+    parser.add_argument(
+        "--scheme",
+        default="all",
+        choices=("all",) + ALL_SCHEMES,
+        help="scheme to check (default: all)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=500, help="operations to run (default 500)"
+    )
+    parser.add_argument(
+        "--mean-op",
+        type=int,
+        default=100,
+        help="mean operation size in bytes (default 100)",
+    )
+    parser.add_argument(
+        "--object-bytes",
+        type=int,
+        default=20_000,
+        help="initial object size in bytes (default 20000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload RNG seed (default 7)"
+    )
+    args = parser.parse_args(argv)
+    schemes = ALL_SCHEMES if args.scheme == "all" else (args.scheme,)
+    dirty = False
+    for scheme in schemes:
+        report = check_after_workload(
+            scheme,
+            object_bytes=args.object_bytes,
+            n_ops=args.ops,
+            mean_op_size=args.mean_op,
+            seed=args.seed,
+        )
+        print(f"{scheme}: {report.summary()}")
+        dirty = dirty or not report.clean
+    return 2 if dirty else 0
+
+
+def _is_allocated(allocator: BuddyAllocator, page_id: int) -> bool:
     try:
         space_index, offset = allocator._locate(page_id)
-    except Exception:
+    except ReproError:
         return False
     return allocator._spaces[space_index].is_block_allocated(offset)
 
 
-def _allocated_not_referenced(allocator, referenced: dict[int, int]) -> list[int]:
+def _allocated_not_referenced(
+    allocator: BuddyAllocator, referenced: dict[int, int]
+) -> list[int]:
     leaked = []
     for index in range(allocator.space_count):
         space = allocator._spaces[index]

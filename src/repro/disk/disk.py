@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.core.config import SystemConfig
 from repro.core.errors import AllocationError
 from repro.disk.iomodel import CostModel
+from repro.lint.contracts import pure_read
 
 #: Marker stored for pages written in phantom (count-only) mode.
 _PHANTOM = None
@@ -76,6 +77,7 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     # Unaccounted access (verification / in-memory bookkeeping only)
     # ------------------------------------------------------------------
+    @pure_read
     def peek_pages(self, start: int, n_pages: int) -> bytes:
         """Return page contents without charging any I/O cost."""
         self._check_range(start, n_pages)
@@ -104,6 +106,7 @@ class SimulatedDisk:
         for i in range(n_pages):
             self._pages[start + i] = padded[i * page_size : (i + 1) * page_size]
 
+    @pure_read
     def was_written(self, page_id: int) -> bool:
         """True if the page has ever been written (recorded or phantom)."""
         return page_id in self._pages

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.config import SystemConfig
+from repro.core.errors import InvalidArgumentError
 
 
 @dataclasses.dataclass
@@ -90,14 +91,14 @@ class CostModel:
     def charge_read(self, n_pages: int) -> None:
         """Charge one physical read call transferring ``n_pages`` pages."""
         if n_pages <= 0:
-            raise ValueError("a physical read must transfer at least one page")
+            raise InvalidArgumentError("a physical read must transfer at least one page")
         self.stats.read_calls += 1
         self.stats.pages_read += n_pages
 
     def charge_write(self, n_pages: int) -> None:
         """Charge one physical write call transferring ``n_pages`` pages."""
         if n_pages <= 0:
-            raise ValueError("a physical write must transfer at least one page")
+            raise InvalidArgumentError("a physical write must transfer at least one page")
         self.stats.write_calls += 1
         self.stats.pages_written += n_pages
 

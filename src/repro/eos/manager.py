@@ -25,6 +25,7 @@ from repro.eos.segment import (
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
 from repro.tree.tree import Cursor, PositionalTree
+from repro.core.errors import InvalidArgumentError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,14 +47,17 @@ class EOSManager(TreeBackedManager):
         super().__init__(env)
         self.options = options or EOSOptions()
         if self.options.threshold_pages < 1:
-            raise ValueError("threshold_pages must be at least 1")
+            raise InvalidArgumentError("threshold_pages must be at least 1")
         if self.options.threshold_pages > env.config.max_segment_pages:
-            raise ValueError("threshold_pages exceeds the maximum segment size")
+            raise InvalidArgumentError("threshold_pages exceeds the maximum segment size")
 
     # ------------------------------------------------------------------
     # Append (doubling growth, like Starburst)
     # ------------------------------------------------------------------
     def append(self, oid: int, data: bytes) -> None:
+        """Append bytes in doubling segments, filling the trimmed last segment
+        first (Section 2.3).
+        """
         tree = self._tree(oid)
         if not data:
             return
@@ -142,6 +146,9 @@ class EOSManager(TreeBackedManager):
     # Insert
     # ------------------------------------------------------------------
     def insert(self, oid: int, offset: int, data: bytes) -> None:
+        """Insert bytes by splitting the affected segment, shuffling neighbours
+        that fit within the threshold T together.
+        """
         tree = self._tree(oid)
         self._check_offset(oid, offset)
         if not data:
@@ -204,6 +211,9 @@ class EOSManager(TreeBackedManager):
     # Delete
     # ------------------------------------------------------------------
     def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        """Delete a byte range, shuffling small adjacent segments back under
+        the threshold T.
+        """
         tree = self._tree(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -241,6 +251,7 @@ class EOSManager(TreeBackedManager):
     # Replace
     # ------------------------------------------------------------------
     def replace(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite bytes in place, shadowing each affected segment."""
         tree = self._tree(oid)
         self._check_range(oid, offset, len(data))
         if not data:

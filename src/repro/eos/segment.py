@@ -16,6 +16,7 @@ segments, or kept in place.
 
 from __future__ import annotations
 
+from repro.core.errors import InvalidArgumentError
 import dataclasses
 
 
@@ -86,7 +87,7 @@ def plan_cells(
     their in-place status (the executor copies them).
     """
     if threshold_pages < 1:
-        raise ValueError("threshold must be at least one page")
+        raise InvalidArgumentError("threshold must be at least one page")
     threshold_bytes = threshold_pages * page_size
     merged = [Cell(list(cell.pieces)) for cell in cells if cell.nbytes > 0]
     changed = True

@@ -16,6 +16,7 @@ compute how a given number of bytes is distributed over leaves:
 
 from __future__ import annotations
 
+from repro.core.errors import InvalidArgumentError
 
 def arrange_fresh(total_bytes: int, capacity: int) -> list[int]:
     """Leaf sizes for laying out fresh bytes at the end of an object."""
@@ -63,6 +64,6 @@ def _split_evenly(total: int) -> list[int]:
 
 def _check(total_bytes: int, capacity: int) -> None:
     if capacity <= 0:
-        raise ValueError("leaf capacity must be positive")
+        raise InvalidArgumentError("leaf capacity must be positive")
     if total_bytes < 0:
-        raise ValueError("byte count must be non-negative")
+        raise InvalidArgumentError("byte count must be non-negative")

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.env import StorageEnvironment
-from repro.core.errors import ByteRangeError
+from repro.core.errors import ByteRangeError, InvalidArgumentError
 from repro.esm import leaf as leaf_rules
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
@@ -56,9 +56,9 @@ class ESMManager(TreeBackedManager):
         super().__init__(env)
         self.options = options or ESMOptions()
         if self.options.leaf_pages < 1:
-            raise ValueError("leaf_pages must be at least 1")
+            raise InvalidArgumentError("leaf_pages must be at least 1")
         if self.options.leaf_pages > env.config.max_segment_pages:
-            raise ValueError("leaf_pages exceeds the maximum segment size")
+            raise InvalidArgumentError("leaf_pages exceeds the maximum segment size")
 
     # ------------------------------------------------------------------
     # Derived parameters
@@ -75,6 +75,9 @@ class ESMManager(TreeBackedManager):
     # Append
     # ------------------------------------------------------------------
     def append(self, oid: int, data: bytes) -> None:
+        """Append bytes, redistributing over the two rightmost leaves so all
+        but those two stay full (Section 3.4).
+        """
         tree = self._tree(oid)
         if not data:
             return
@@ -143,6 +146,9 @@ class ESMManager(TreeBackedManager):
     # Insert
     # ------------------------------------------------------------------
     def insert(self, oid: int, offset: int, data: bytes) -> None:
+        """Insert bytes at an offset; leaf overflow redistributes with a
+        neighbour under the improved algorithm of [Care86].
+        """
         tree = self._tree(oid)
         self._check_offset(oid, offset)
         if not data:
@@ -236,6 +242,7 @@ class ESMManager(TreeBackedManager):
     # Delete
     # ------------------------------------------------------------------
     def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        """Delete a byte range, merging or rebalancing underfull leaves."""
         tree = self._tree(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -310,6 +317,7 @@ class ESMManager(TreeBackedManager):
     # Replace
     # ------------------------------------------------------------------
     def replace(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite bytes in place, shadowing each affected leaf."""
         tree = self._tree(oid)
         self._check_range(oid, offset, len(data))
         if not data:

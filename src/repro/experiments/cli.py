@@ -5,6 +5,7 @@ Usage::
     repro-experiments                      # everything, default scale
     repro-experiments fig5 table1         # selected experiments
     repro-experiments --plot fig5         # add an ASCII chart rendering
+    repro-experiments fsck --scheme eos   # workload + consistency check
     REPRO_SCALE=paper repro-experiments   # the paper's full 10 MB scale
 """
 
@@ -25,6 +26,13 @@ from repro.experiments.registry import (
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fsck":
+        # Consistency-check subcommand; see repro.core.fsck.
+        from repro.core.fsck import cli_main
+
+        return cli_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -15,6 +15,7 @@ import os
 
 from repro.core.api import LargeObjectStore
 from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.errors import InvalidArgumentError
 
 MB = 1 << 20
 KB = 1 << 10
@@ -103,7 +104,7 @@ def resolve_scale(name: str | None = None) -> Scale:
     try:
         return _SCALES[name]
     except KeyError:
-        raise ValueError(
+        raise InvalidArgumentError(
             f"unknown scale {name!r}; expected one of {sorted(_SCALES)}"
         ) from None
 

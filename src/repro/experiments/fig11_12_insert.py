@@ -22,6 +22,7 @@ from repro.experiments.common import (
     resolve_scale,
 )
 from repro.experiments.random_ops import run_random_ops
+from repro.core.errors import InvalidArgumentError
 
 
 @dataclasses.dataclass
@@ -62,7 +63,7 @@ def run_update_cost(
 ) -> UpdateCostResult:
     """Insert (or delete) cost curves across the scheme's setting sweep."""
     if kind not in ("insert", "delete"):
-        raise ValueError("kind must be 'insert' or 'delete'")
+        raise InvalidArgumentError("kind must be 'insert' or 'delete'")
     scale = scale or resolve_scale()
     settings = ESM_LEAF_PAGES if scheme == "esm" else EOS_THRESHOLDS
     label = "leaf" if scheme == "esm" else "T"

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.errors import InvalidArgumentError
 from repro.experiments import (
     fig5_build,
     fig6_scan,
@@ -40,7 +41,7 @@ def run(name: str) -> str:
         runner = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
-        raise ValueError(f"unknown experiment {name!r}; known: {known}") from None
+        raise InvalidArgumentError(f"unknown experiment {name!r}; known: {known}") from None
     return runner()
 
 
@@ -65,7 +66,7 @@ def run_plot(name: str) -> str:
         plotter = PLOTTABLE[name]
     except KeyError:
         known = ", ".join(sorted(PLOTTABLE))
-        raise ValueError(
+        raise InvalidArgumentError(
             f"experiment {name!r} has no plot; plottable: {known}"
         ) from None
     return plotter()
@@ -96,7 +97,7 @@ def export_csv(name: str, directory: str) -> str:
         exporter = CSV_EXPORTS[name]
     except KeyError:
         known = ", ".join(sorted(CSV_EXPORTS))
-        raise ValueError(
+        raise InvalidArgumentError(
             f"experiment {name!r} has no CSV export; known: {known}"
         ) from None
     x_header, xs, series = exporter()

@@ -12,6 +12,7 @@ import sys
 
 from repro.experiments.common import resolve_scale
 from repro.experiments.registry import EXPERIMENTS, PLOTTABLE, run, run_plot
+from repro.core.errors import InvalidArgumentError
 
 #: Section order and human titles for the report.
 _SECTIONS = (
@@ -43,7 +44,7 @@ def build_report(names: tuple[str, ...] | None = None) -> str:
     ]
     for name in wanted:
         if name not in EXPERIMENTS:
-            raise ValueError(f"unknown experiment {name!r}")
+            raise InvalidArgumentError(f"unknown experiment {name!r}")
         parts.append("")
         parts.append(f"## {titles.get(name, name)}")
         parts.append("")

@@ -1,0 +1,32 @@
+"""Storage-engine-aware static analysis for the reproduction.
+
+The reproduction's credibility rests on invariants the interpreter cannot
+enforce: every simulated I/O must flow through the Section 4.1 cost model
+(:mod:`repro.disk.iomodel`), and every page touch must respect the layering
+disk -> buffer pool -> segment I/O -> managers.  A single raw
+``disk.write_pages()`` call in a manager silently corrupts the seek and
+transfer accounting that Figures 5-12 report.
+
+``python -m repro.lint src/repro`` runs an AST-based analyzer over the
+tree and reports violations of those invariants with ``file:line`` rule
+locations.  See :mod:`repro.lint.rules` for the rule catalogue and
+``docs/static_analysis.md`` for the rationale of each rule.
+
+Violations are suppressed per line with ``# repro-lint: disable=RULE`` or
+per file with ``# repro-lint: disable-file=RULE``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import FileContext, Violation, lint_file, lint_paths
+from repro.lint.rules import RULES, Rule, register
+
+__all__ = [
+    "FileContext",
+    "RULES",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "register",
+]

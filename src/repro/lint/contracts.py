@@ -1,0 +1,90 @@
+"""Purity contracts checked statically by the linter and, on demand, at runtime.
+
+:func:`pure_read` declares that a method never mutates the simulated disk:
+it may read pages (and charge read cost) but must not write, poke, or
+discard them.  The declaration is enforced twice:
+
+* **statically** — rule INV001 (:mod:`repro.lint.rules`) walks the bodies
+  of decorated methods and rejects calls to ``write_pages`` /
+  ``poke_pages`` / ``discard_pages`` / ``charge_write`` and assignments
+  through a ``disk`` attribute;
+* **at runtime** — when the environment variable ``REPRO_DEBUG=1`` is
+  set, the decorator snapshots the disk's write counters and page count
+  around each call and raises
+  :class:`~repro.core.errors.ContractViolationError` if they moved.
+
+With ``REPRO_DEBUG`` unset the runtime wrapper is a cheap passthrough, so
+the contract costs nothing in benchmarks.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, TypeVar
+
+from repro.core.errors import ContractViolationError
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Environment variable that switches the runtime checks on.
+RUNTIME_FLAG = "REPRO_DEBUG"
+
+
+def runtime_checks_enabled() -> bool:
+    """True when ``REPRO_DEBUG=1`` is set in the environment."""
+    return os.environ.get(RUNTIME_FLAG, "") == "1"
+
+
+def _find_disk(obj: Any) -> Any | None:
+    """Locate the simulated disk reachable from ``obj``, if any.
+
+    Accepts the disk itself, an object with a ``disk`` attribute (buffer
+    pool, environment), or one holding a pool (``obj.pool.disk``).
+    """
+    candidates = (
+        obj,
+        getattr(obj, "disk", None),
+        getattr(getattr(obj, "pool", None), "disk", None),
+        getattr(getattr(obj, "env", None), "disk", None),
+    )
+    for candidate in candidates:
+        if candidate is not None and hasattr(candidate, "_pages") and hasattr(
+            candidate, "cost"
+        ):
+            return candidate
+    return None
+
+
+def _disk_fingerprint(disk: Any) -> tuple[int, int, int]:
+    stats = disk.cost.stats
+    return (stats.write_calls, stats.pages_written, len(disk._pages))
+
+
+def pure_read(func: F) -> F:
+    """Declare (and under ``REPRO_DEBUG=1`` assert) disk purity.
+
+    The decorated method must not mutate the simulated disk: no page
+    writes, pokes, or discards, directly or transitively.  Reading —
+    including charged reads through the cost model — is allowed.
+    """
+
+    @functools.wraps(func)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if not runtime_checks_enabled():
+            return func(self, *args, **kwargs)
+        disk = _find_disk(self)
+        if disk is None:
+            return func(self, *args, **kwargs)
+        before = _disk_fingerprint(disk)
+        result = func(self, *args, **kwargs)
+        after = _disk_fingerprint(disk)
+        if before != after:
+            raise ContractViolationError(
+                f"@pure_read method {func.__qualname__} mutated the disk: "
+                f"(write_calls, pages_written, pages) went {before} -> {after}"
+            )
+        return result
+
+    wrapper.__repro_pure_read__ = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

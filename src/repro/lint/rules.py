@@ -1,0 +1,483 @@
+"""The storage-engine rule catalogue.
+
+Each rule is a small AST pass registered in :data:`RULES`.  Rules are
+stateless; they receive a :class:`~repro.lint.engine.FileContext` and
+yield :class:`~repro.lint.engine.Violation` objects.  The docstring of
+each rule class is the authoritative statement of what it enforces and
+why (mirrored in ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import builtins
+import functools
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Violation
+
+#: rule id -> rule instance, in registration order.
+RULES: dict[str, "Rule"] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+def active_rules() -> list["Rule"]:
+    """All registered rules, in registration order."""
+    return list(RULES.values())
+
+
+class Rule(abc.ABC):
+    """One static check with a stable id and a one-line summary."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule found in ``ctx``."""
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        """Build a violation anchored at ``node``."""
+        return Violation(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def _attribute_chain(node: ast.expr) -> list[str]:
+    """Dotted-name parts of an attribute expression, outermost first.
+
+    ``self.env.pool.disk`` -> ``["self", "env", "pool", "disk"]``.  Returns
+    an empty list when the expression is not a plain dotted name (e.g. a
+    subscript or call result).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class LayeringRule(Rule):
+    """LAY001: physical disk I/O only below the segment I/O layer.
+
+    ``SimulatedDisk.read_pages`` / ``write_pages`` charge the Section 4.1
+    cost model directly.  Managers and everything above them must route
+    page traffic through the buffer pool or :class:`repro.segio.SegmentIO`
+    so that buffering decisions (and hence the reported seek/transfer
+    counts of Figures 5-12) stay centralized.  A raw ``*.disk.read_pages``
+    call in a manager bypasses hit accounting and cache refresh and
+    silently skews the experiments.
+    """
+
+    rule_id = "LAY001"
+    summary = (
+        "no Disk.read_pages/write_pages calls outside repro/buffer, "
+        "repro/segio, and repro/disk"
+    )
+
+    _accounted = frozenset({"read_pages", "write_pages"})
+    _allowed_layers = frozenset({"buffer", "segio", "disk"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.layer in self._allowed_layers:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in self._accounted:
+                continue
+            chain = _attribute_chain(func.value)
+            if chain and chain[-1] == "disk":
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"raw disk.{func.attr}() outside the buffer/segio layers; "
+                    "route the access through BufferPool or SegmentIO so cost "
+                    "accounting and cache refresh stay correct",
+                )
+
+
+@register
+class CostConstantRule(Rule):
+    """CST001: no bare cost-model magic numbers in arithmetic.
+
+    The paper's seek cost (33 ms; worked examples 45 ms and 111 ms) and
+    the KB/page-size divisors (1024, 4096) must come from
+    :class:`repro.core.config.SystemConfig` / :mod:`repro.disk.iomodel`.
+    Re-deriving a cost inline with a literal silently diverges from the
+    configured model when experiments change the parameters.
+    """
+
+    rule_id = "CST001"
+    summary = (
+        "no bare seek/transfer magic numbers (33, 45, 111; 1024/4096 in "
+        "cost context) outside repro/disk/iomodel.py and repro/core/config.py"
+    )
+
+    _seek_literals = frozenset({33, 45, 111})
+    _context_literals = frozenset({1024, 4096})
+    _cost_tokens = ("seek", "transfer", "cost", "elapsed")
+    _exempt = frozenset({"repro/disk/iomodel.py", "repro/core/config.py"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.package_path in self._exempt:
+            return
+        reported: set[tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            for operand in (node.left, node.right):
+                if not isinstance(operand, ast.Constant):
+                    continue
+                value = operand.value
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                key = (operand.lineno, operand.col_offset)
+                if key in reported:
+                    continue
+                if value in self._seek_literals:
+                    reported.add(key)
+                    yield self.violation(
+                        ctx,
+                        operand,
+                        f"magic cost constant {value!r}; use "
+                        "config.seek_ms / the CostModel instead of inlining "
+                        "Section 4.1 numbers",
+                    )
+                elif value in self._context_literals and self._in_cost_context(
+                    ctx, node
+                ):
+                    reported.add(key)
+                    yield self.violation(
+                        ctx,
+                        operand,
+                        f"magic divisor {value!r} in cost arithmetic; use "
+                        "config.page_size / config.transfer_ms_per_page",
+                    )
+
+    def _in_cost_context(self, ctx: FileContext, node: ast.AST) -> bool:
+        """True when the outermost enclosing expression names a cost term."""
+        top = node
+        parent = ctx.parent(top)
+        while isinstance(parent, (ast.BinOp, ast.UnaryOp)):
+            top = parent
+            parent = ctx.parent(top)
+        for sub in ast.walk(top):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is None:
+                continue
+            lowered = name.lower()
+            if (
+                any(token in lowered for token in self._cost_tokens)
+                or lowered.endswith("_ms")
+                or "_ms_" in lowered
+            ):
+                return True
+        return False
+
+
+@functools.lru_cache(maxsize=1)
+def _core_error_names() -> frozenset[str]:
+    """Exception class names exported by :mod:`repro.core.errors`."""
+    import repro.core.errors as errors_module
+
+    return frozenset(
+        name
+        for name in dir(errors_module)
+        if isinstance(getattr(errors_module, name), type)
+        and issubclass(getattr(errors_module, name), BaseException)
+    )
+
+
+@register
+class ErrorTypeRule(Rule):
+    """ERR001: raise only exception types from :mod:`repro.core.errors`.
+
+    A single hierarchy rooted at ``ReproError`` lets callers (and the
+    randomized workload harness) distinguish simulation bugs from caller
+    mistakes with one ``except``.  Raising bare builtins (``ValueError``,
+    ``TypeError``) or module-private exception classes fragments that
+    contract.  ``NotImplementedError`` is allowed for abstract stubs, and
+    re-raises (``raise`` with no operand) are always fine.
+    """
+
+    rule_id = "ERR001"
+    summary = "only exception types from repro.core.errors may be raised"
+
+    _allowed_builtins = frozenset({"NotImplementedError"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.package_path == "repro/core/errors.py":
+            return
+        allowed = _core_error_names() | self._allowed_builtins
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            else:
+                continue  # dynamic expression; not statically checkable
+            if name in allowed:
+                continue
+            if self._looks_like_exception(name):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"raising {name}; raise a type from repro.core.errors "
+                    "so callers can rely on the ReproError hierarchy",
+                )
+
+    @staticmethod
+    def _looks_like_exception(name: str) -> bool:
+        builtin = getattr(builtins, name, None)
+        if isinstance(builtin, type) and issubclass(builtin, BaseException):
+            return True
+        return name.endswith(("Error", "Exception"))
+
+
+@register
+class AllocationPairingRule(Rule):
+    """ALLOC001: modules that allocate buddy segments must also free them.
+
+    Every ``allocate(...)`` call site must have a reachable ``free(...)``
+    path in the same module; an allocate-only module is an orphan
+    allocation — exactly the leak pattern ``repro.core.fsck`` detects at
+    runtime, caught here before it ships.
+    """
+
+    rule_id = "ALLOC001"
+    summary = "every allocate() call site needs a reachable free() in its module"
+
+    _free_names = frozenset({"free", "free_range", "deallocate"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        allocates: list[ast.Call] = []
+        has_free = False
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = None
+            if isinstance(func, ast.Attribute):
+                attr = func.attr
+            elif isinstance(func, ast.Name):
+                attr = func.id
+            if attr == "allocate":
+                allocates.append(node)
+            elif attr in self._free_names:
+                has_free = True
+        if allocates and not has_free:
+            for call in allocates:
+                yield self.violation(
+                    ctx,
+                    call,
+                    "allocate() without any free() path in this module; "
+                    "orphan allocations leak pages the fsck leak check will "
+                    "flag at runtime",
+                )
+
+
+@register
+class MutableStateRule(Rule):
+    """MUT001: no mutable default arguments or module-level mutable state.
+
+    Mutable defaults are shared across calls; module-level mutable
+    containers are shared across :class:`StorageEnvironment` instances and
+    break the "one environment, one cost ledger" isolation the experiments
+    assume.  Uppercase constants and dunders (``__all__``) are exempt by
+    convention.
+    """
+
+    rule_id = "MUT001"
+    summary = "no mutable default arguments or module-level mutable state"
+
+    _mutable_calls = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults)
+                defaults.extend(d for d in node.args.kw_defaults if d is not None)
+                for default in defaults:
+                    if self._is_mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.violation(
+                            ctx,
+                            default,
+                            f"mutable default argument in {name}(); default "
+                            "to None and build the container in the body",
+                        )
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_mutable(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") or name == name.upper():
+                    continue  # dunder or constant-by-convention
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"module-level mutable state {name!r}; module globals are "
+                    "shared across StorageEnvironment instances",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._mutable_calls
+        return False
+
+
+@register
+class DocAnnotationRule(Rule):
+    """DOC001: public Manager/Allocator methods are documented and typed.
+
+    The managers are the paper-facing API surface: each override states
+    *which* algorithm of the paper it implements (Sections 3.2-3.5), so a
+    missing docstring loses the paper cross-reference, and missing
+    annotations break the strict-mypy gate on the core packages.
+    """
+
+    rule_id = "DOC001"
+    summary = (
+        "public Manager/Allocator methods need docstrings and full type "
+        "annotations"
+    )
+
+    _class_suffixes = ("Manager", "Allocator")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not cls.name.endswith(self._class_suffixes):
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if fn.name.startswith("_"):
+                    continue
+                label = f"{cls.name}.{fn.name}"
+                if ast.get_docstring(fn) is None:
+                    yield self.violation(
+                        ctx, fn, f"public method {label} has no docstring"
+                    )
+                args = fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+                missing = [
+                    a.arg
+                    for a in args
+                    if a.arg not in ("self", "cls") and a.annotation is None
+                ]
+                for extra in (fn.args.vararg, fn.args.kwarg):
+                    if extra is not None and extra.annotation is None:
+                        missing.append(extra.arg)
+                if missing:
+                    yield self.violation(
+                        ctx,
+                        fn,
+                        f"{label} is missing parameter annotations: "
+                        f"{', '.join(missing)}",
+                    )
+                if fn.returns is None:
+                    yield self.violation(
+                        ctx, fn, f"{label} is missing a return annotation"
+                    )
+
+
+@register
+class PureReadContractRule(Rule):
+    """INV001: ``@pure_read`` methods must not mutate the disk.
+
+    Methods decorated with :func:`repro.lint.contracts.pure_read` promise
+    to leave the simulated disk untouched: no ``write_pages`` /
+    ``poke_pages`` / ``discard_pages`` calls, no ``charge_write``, and no
+    assignment through a ``disk`` attribute.  The same contract asserts at
+    runtime under ``REPRO_DEBUG=1``; this rule proves it statically.
+    """
+
+    rule_id = "INV001"
+    summary = "@pure_read methods must be pure-read on the disk"
+
+    _mutators = frozenset(
+        {"write_pages", "poke_pages", "discard_pages", "charge_write"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._has_pure_read_decorator(fn):
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in self._mutators:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"@pure_read method {fn.name} calls "
+                            f"{node.func.attr}(), which mutates the disk",
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        chain = _attribute_chain(target)
+                        if "disk" in chain[:-1]:
+                            yield self.violation(
+                                ctx,
+                                node,
+                                f"@pure_read method {fn.name} assigns to "
+                                f"{'.'.join(chain)}",
+                            )
+
+    @staticmethod
+    def _has_pure_read_decorator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for decorator in fn.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name == "pure_read":
+                return True
+        return False

@@ -13,15 +13,15 @@ from __future__ import annotations
 
 import struct
 
-from repro.core.errors import ReproError, StorageCorruptionError
+from repro.core.errors import (
+    InvalidArgumentError,
+    PageFullError,
+    StorageCorruptionError,
+)
 
 _HEADER = struct.Struct("<2sHHH")  # magic, n_slots, data_start, pad
 _SLOT = struct.Struct("<HH")  # offset, length (offset 0 => empty slot)
 _MAGIC = b"SP"
-
-
-class PageFullError(ReproError):
-    """The record does not fit in this page."""
 
 
 class SlottedPage:
@@ -106,7 +106,7 @@ class SlottedPage:
         Raises :class:`PageFullError` when the record cannot fit.
         """
         if not record:
-            raise ReproError("empty records are not storable")
+            raise InvalidArgumentError("empty records are not storable")
         reuse = next(
             (i for i in range(self.n_slots) if not self.slot_in_use(i)), None
         )

@@ -19,7 +19,7 @@ import dataclasses
 import enum
 import struct
 
-from repro.core.errors import ReproError
+from repro.core.errors import SchemaError
 
 
 class FieldKind(enum.Enum):
@@ -36,10 +36,6 @@ class Field:
 
     name: str
     kind: FieldKind
-
-
-class SchemaError(ReproError):
-    """A record does not conform to its schema."""
 
 
 _INT = struct.Struct("<q")

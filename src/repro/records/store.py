@@ -96,7 +96,14 @@ class RecordStore:
             self.manager.destroy(record[field.name])
         page = self._load_page(rid.page_id)
         page.delete(rid.slot)
-        self._flush_page(rid.page_id)
+        if page.live_slots():
+            self._flush_page(rid.page_id)
+        else:
+            # Last record gone: return the page to the meta area instead
+            # of leaking it (the allocator invalidates resident copies).
+            self._pages.remove(rid.page_id)
+            del self._cache[rid.page_id]
+            self.env.areas.meta.free(rid.page_id, 1)
 
     def scan(self):
         """Yield (rid, record) for every live record."""
@@ -191,6 +198,9 @@ class RecordStore:
         return RecordId(page_id, slot)
 
     def _load_page(self, page_id: int) -> SlottedPage:
+        if page_id not in self._pages:
+            # The page was freed when its last record was deleted.
+            raise ObjectNotFoundError(f"no record page {page_id}")
         if page_id not in self._cache:
             self.env.pool.fix(page_id)
             frame = self.env.pool.lookup(page_id)
@@ -208,5 +218,4 @@ class RecordStore:
 
     def _flush_page(self, page_id: int) -> None:
         image = self._cache[page_id].image
-        self.env.disk.write_pages(page_id, 1, image, record=True)
-        self.env.pool.update_if_resident(page_id, image)
+        self.env.pool.write_run(page_id, 1, image, record=True)

@@ -21,13 +21,9 @@ from __future__ import annotations
 from repro.blockbased.manager import BlockBasedManager
 from repro.buddy.area import DATA_AREA_BASE, META_AREA_BASE
 from repro.core.env import StorageEnvironment
-from repro.core.errors import ReproError
+from repro.core.errors import CrashError, InvalidArgumentError
 from repro.starburst.descriptor import LongFieldDescriptor
 from repro.tree.node import IndexNode
-
-
-class CrashError(ReproError):
-    """Raised by the injector when the simulated system 'crashes'."""
 
 
 class CrashInjector:
@@ -46,7 +42,7 @@ class CrashInjector:
     def arm(self, writes_before_crash: int) -> None:
         """Crash on the (N+1)-th physical write call from now."""
         if writes_before_crash < 0:
-            raise ValueError("write budget must be non-negative")
+            raise InvalidArgumentError("write budget must be non-negative")
         self._budget = writes_before_crash
         self._install()
 
@@ -170,4 +166,4 @@ def rebuild_content(store, oid: int) -> bytes:
         return rebuild_starburst_content(store.env, oid)
     if scheme == "blockbased":
         return rebuild_blockbased_content(store.env, oid)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    raise InvalidArgumentError(f"unknown scheme {scheme!r}")

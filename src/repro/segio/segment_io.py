@@ -148,15 +148,9 @@ class SegmentIO:
         page_size = self.config.page_size
         if n_pages is None:
             n_pages = -(-len(data) // page_size)
-        self.pool.disk.write_pages(
+        self.pool.write_run(
             start_page, n_pages, data, record=self.record_leaf_data
         )
-        for i in range(n_pages):
-            if self.pool.is_resident(start_page + i):
-                page = bytes(data[i * page_size : (i + 1) * page_size])
-                self.pool.update_if_resident(
-                    start_page + i, page.ljust(page_size, b"\x00")
-                )
 
     # ------------------------------------------------------------------
     # Internals

@@ -15,15 +15,15 @@ import dataclasses
 import struct
 
 from repro.core.config import SystemConfig
-from repro.core.errors import ReproError, StorageCorruptionError
+from repro.core.errors import (
+    InvalidArgumentError,
+    LongFieldTooLargeError,
+    StorageCorruptionError,
+)
 
 _HEADER = struct.Struct("<4sIIIQI")  # magic, n, first_alloc, last_alloc, total, pad
 _POINTER = struct.Struct("<I")
 _MAGIC = b"SBLF"
-
-
-class LongFieldTooLargeError(ReproError):
-    """The descriptor page cannot hold another segment pointer."""
 
 
 @dataclasses.dataclass
@@ -55,7 +55,7 @@ def pattern_pages(first_alloc: int, index: int, max_pages: int) -> int:
     reached; then a sequence of maximum-size segments follows.
     """
     if first_alloc < 1 or index < 0:
-        raise ValueError("bad pattern arguments")
+        raise InvalidArgumentError("bad pattern arguments")
     doubled = first_alloc << index
     return min(doubled, max_pages)
 

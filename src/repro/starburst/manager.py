@@ -56,6 +56,9 @@ class StarburstManager(LargeObjectManager):
     # Lifecycle
     # ------------------------------------------------------------------
     def create(self, data: bytes = b"") -> int:
+        """Create a long field; known content is laid out in maximum-size
+        segments with the last one trimmed (Section 2.2).
+        """
         page_id = self.env.areas.meta.allocate(1)
         descriptor = LongFieldDescriptor(page_id, self.config)
         self._fields[page_id] = descriptor
@@ -86,6 +89,7 @@ class StarburstManager(LargeObjectManager):
             position += len(chunk)
 
     def destroy(self, oid: int) -> None:
+        """Free all segments and the descriptor page of the long field."""
         descriptor = self._descriptor(oid)
         for segment in descriptor.segments:
             self.env.areas.data.free(segment.page_id, segment.alloc_pages)
@@ -93,12 +97,14 @@ class StarburstManager(LargeObjectManager):
         del self._fields[oid]
 
     def size(self, oid: int) -> int:
+        """Current long-field size in bytes, from the descriptor."""
         return self._descriptor(oid).total_bytes
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        """Read a byte range straight from the affected segments."""
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -124,6 +130,7 @@ class StarburstManager(LargeObjectManager):
     # Append
     # ------------------------------------------------------------------
     def append(self, oid: int, data: bytes) -> None:
+        """Append bytes, growing the last segment by the doubling pattern."""
         descriptor = self._descriptor(oid)
         if not data:
             return
@@ -172,6 +179,9 @@ class StarburstManager(LargeObjectManager):
     # Length-changing updates
     # ------------------------------------------------------------------
     def insert(self, oid: int, offset: int, data: bytes) -> None:
+        """Insert bytes by rewriting everything right of the insertion point
+        through the staging buffer (Section 3.5).
+        """
         descriptor = self._descriptor(oid)
         self._check_offset(oid, offset)
         if not data:
@@ -192,6 +202,9 @@ class StarburstManager(LargeObjectManager):
             )
 
     def delete(self, oid: int, offset: int, nbytes: int) -> None:
+        """Delete bytes by rewriting the surviving tail through the staging
+        buffer (Section 3.5).
+        """
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -212,6 +225,7 @@ class StarburstManager(LargeObjectManager):
     # Replace
     # ------------------------------------------------------------------
     def replace(self, oid: int, offset: int, data: bytes) -> None:
+        """Overwrite bytes in place, shadowing whole affected segments."""
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, len(data))
         if not data:
@@ -263,6 +277,7 @@ class StarburstManager(LargeObjectManager):
     # Accounting
     # ------------------------------------------------------------------
     def allocated_pages(self, oid: int) -> int:
+        """Segment pages plus the one descriptor page."""
         descriptor = self._descriptor(oid)
         return 1 + sum(s.alloc_pages for s in descriptor.segments)
 
@@ -455,6 +470,7 @@ class _TailReader:
         self._piece_done = 0
 
     def read(self, nbytes: int) -> bytes:
+        """Read a byte range straight from the affected segments."""
         chunks: list[bytes] = []
         got = 0
         while got < nbytes and self._piece_index < len(self._pieces):

@@ -35,6 +35,7 @@ class TreeBackedManager(LargeObjectManager):
     # Lifecycle
     # ------------------------------------------------------------------
     def create(self, data: bytes = b"") -> int:
+        """Create an object backed by a fresh positional count tree."""
         tree = PositionalTree(
             self.config,
             self.env.pool,
@@ -51,18 +52,21 @@ class TreeBackedManager(LargeObjectManager):
         return oid
 
     def destroy(self, oid: int) -> None:
+        """Free every leaf segment and index page of the object."""
         tree = self._tree(oid)
         for extent in tree.destroy():
             self.env.areas.data.free(extent.page_id, extent.alloc_pages)
         del self._objects[oid]
 
     def size(self, oid: int) -> int:
+        """Current object size in bytes (the tree's total count)."""
         return self._tree(oid).total_bytes
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+        """Read a byte range located through the positional tree."""
         tree = self._tree(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
@@ -86,6 +90,7 @@ class TreeBackedManager(LargeObjectManager):
     # Accounting
     # ------------------------------------------------------------------
     def allocated_pages(self, oid: int) -> int:
+        """Leaf pages plus index pages currently allocated to the object."""
         tree = self._tree(oid)
         leaf_pages = sum(
             extent.alloc_pages for extent in tree.iter_extents(charged=False)

@@ -16,7 +16,7 @@ import dataclasses
 import struct
 
 from repro.core.config import SystemConfig
-from repro.core.errors import StorageCorruptionError
+from repro.core.errors import InvalidArgumentError, StorageCorruptionError
 
 _NODE_HEADER = struct.Struct("<2sBBHH")  # magic, level, flags, n_entries, pad
 _ROOT_HEADER = struct.Struct("<2sBBHHQIQQI")  # + total_bytes, rightmost_alloc, rsvd
@@ -70,7 +70,7 @@ class IndexNode:
 
     def __init__(self, page_id: int, level: int) -> None:
         if level < 1:
-            raise ValueError("index node level starts at 1")
+            raise InvalidArgumentError("index node level starts at 1")
         self.page_id = page_id
         self.level = level
         self.entries: list[Entry] = []

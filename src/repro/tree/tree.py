@@ -162,15 +162,11 @@ class PositionalTree:
                 self._serialize_node(self._nodes[run_start + i])
                 for i in range(run_len)
             )
-            self.pool.disk.write_pages(run_start, run_len, data, record=True)
-            page_size = self.config.page_size
+            self.pool.write_run(run_start, run_len, data, record=True)
             for i in range(run_len):
                 node = self._nodes[run_start + i]
                 node.dirty = False
                 node.shadowed_this_op = False
-                self.pool.update_if_resident(
-                    run_start + i, data[i * page_size : (i + 1) * page_size]
-                )
         self._dirty.clear()
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ import dataclasses
 
 from repro.core.manager import LargeObjectManager
 from repro.workload.generator import DELETE, INSERT, READ, WorkloadGenerator
+from repro.core.errors import InvalidArgumentError
 
 
 @dataclasses.dataclass
@@ -28,9 +29,9 @@ class WindowStats:
     delete_ms_total: float = 0.0
     utilization: float = 0.0
     #: Per-operation cost samples, populated only with keep_op_costs.
-    read_samples: list = dataclasses.field(default_factory=list)
-    insert_samples: list = dataclasses.field(default_factory=list)
-    delete_samples: list = dataclasses.field(default_factory=list)
+    read_samples: list[float] = dataclasses.field(default_factory=list)
+    insert_samples: list[float] = dataclasses.field(default_factory=list)
+    delete_samples: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def avg_read_ms(self) -> float:
@@ -76,7 +77,7 @@ class WorkloadRunner:
         analysis beyond the paper's window averages.
         """
         if window <= 0:
-            raise ValueError("window must be positive")
+            raise InvalidArgumentError("window must be positive")
         windows: list[WindowStats] = []
         current = WindowStats(ops_done=0)
         env = self.manager.env

@@ -20,16 +20,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Iterator
 
-from repro.core.errors import ReproError
+from repro.core.errors import InvalidArgumentError, TraceError
 from repro.core.manager import LargeObjectManager
 from repro.workload.generator import WorkloadGenerator
 
 #: Operation kinds a trace may contain.
 TRACE_KINDS = ("append", "insert", "delete", "replace", "read")
-
-
-class TraceError(ReproError):
-    """A trace line could not be parsed or applied."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,10 +52,10 @@ class TraceOp:
         try:
             if kind == "append":
                 if len(parts) != 2:
-                    raise ValueError
+                    raise InvalidArgumentError
                 return cls(kind, 0, int(parts[1]))
             if len(parts) != 3:
-                raise ValueError
+                raise InvalidArgumentError
             return cls(kind, int(parts[1]), int(parts[2]))
         except ValueError:
             raise TraceError(f"malformed trace line: {line!r}") from None

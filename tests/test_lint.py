@@ -1,0 +1,444 @@
+"""Tests for repro.lint: rules, suppressions, CLI, contracts, and meta-lint."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import small_page_config
+from repro.core.errors import ContractViolationError
+from repro.lint import RULES, lint_file, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.contracts import pure_read, runtime_checks_enabled
+
+#: The shipped package, linted by the meta-test below.
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def run_rule(rule_id, path):
+    """Lint one file with a single rule; returns the violations."""
+    return lint_file(path, [RULES[rule_id]])
+
+
+# ----------------------------------------------------------------------
+# LAY001: layering
+# ----------------------------------------------------------------------
+class TestLayeringRule:
+    def test_raw_disk_read_in_manager_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/bad.py", """\
+            class EagerManager:
+                def read(self, oid):
+                    return self.env.disk.read_pages(0, 1)
+            """)
+        violations = run_rule("LAY001", path)
+        assert [v.rule_id for v in violations] == ["LAY001"]
+        assert violations[0].line == 3
+
+    def test_raw_disk_write_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/eos/bad.py", """\
+            def flush(pool):
+                pool.disk.write_pages(4, 1, b"x")
+            """)
+        assert [v.rule_id for v in run_rule("LAY001", path)] == ["LAY001"]
+
+    def test_buffer_layer_is_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/buffer/pool2.py", """\
+            def fix(self, page_id):
+                return self.disk.read_pages(page_id, 1)
+            """)
+        assert run_rule("LAY001", path) == []
+
+    def test_unaccounted_peek_is_not_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/peek.py", """\
+            def snapshot(env):
+                return env.disk.peek_pages(0, 4)
+            """)
+        assert run_rule("LAY001", path) == []
+
+
+# ----------------------------------------------------------------------
+# CST001: cost-model magic numbers
+# ----------------------------------------------------------------------
+class TestCostConstantRule:
+    def test_inline_seek_constant_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/cost.py", """\
+            def cost_of(n_pages):
+                return 33 + 4 * n_pages
+            """)
+        violations = run_rule("CST001", path)
+        assert [v.rule_id for v in violations] == ["CST001"]
+        assert "33" in violations[0].message
+
+    def test_divisor_in_cost_context_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/analysis/bad.py", """\
+            def transfer(nbytes, seek_ms):
+                return seek_ms + nbytes / 1024
+            """)
+        assert [v.rule_id for v in run_rule("CST001", path)] == ["CST001"]
+
+    def test_divisor_outside_cost_context_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/analysis/ok.py", """\
+            def chunk(data):
+                return data[: 10 * 1024]
+            """)
+        assert run_rule("CST001", path) == []
+
+    def test_iomodel_is_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/disk/iomodel.py", """\
+            SEEK_MS = 33
+
+            def seek(n):
+                return 33 + n
+            """)
+        assert run_rule("CST001", path) == []
+
+
+# ----------------------------------------------------------------------
+# ERR001: exception hierarchy
+# ----------------------------------------------------------------------
+class TestErrorTypeRule:
+    def test_bare_valueerror_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/raises.py", """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """)
+        violations = run_rule("ERR001", path)
+        assert [v.rule_id for v in violations] == ["ERR001"]
+        assert "ValueError" in violations[0].message
+
+    def test_core_errors_types_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/esm/ok.py", """\
+            from repro.core.errors import InvalidArgumentError
+
+            def f(x):
+                if x < 0:
+                    raise InvalidArgumentError("negative")
+                raise NotImplementedError
+            """)
+        assert run_rule("ERR001", path) == []
+
+    def test_reraise_and_dynamic_raise_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/esm/dynamic.py", """\
+            def f(self, oid):
+                try:
+                    pass
+                except Exception:
+                    raise
+                raise self._missing(oid)
+            """)
+        assert run_rule("ERR001", path) == []
+
+
+# ----------------------------------------------------------------------
+# ALLOC001: allocate/free pairing
+# ----------------------------------------------------------------------
+class TestAllocationPairingRule:
+    def test_allocate_without_free_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/leaky.py", """\
+            class Grabber:
+                def grab(self):
+                    return self.area.allocate(4)
+            """)
+        assert [v.rule_id for v in run_rule("ALLOC001", path)] == ["ALLOC001"]
+
+    def test_allocate_with_free_path_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/esm/paired.py", """\
+            class Grabber:
+                def grab(self):
+                    return self.area.allocate(4)
+
+                def drop(self, page):
+                    self.area.free(page, 4)
+            """)
+        assert run_rule("ALLOC001", path) == []
+
+    def test_free_range_counts_as_free(self, tmp_path):
+        path = write(tmp_path, "repro/buddy/space2.py", """\
+            def resize(space):
+                block = space.allocate(2)
+                space.free_range(block, 2)
+            """)
+        assert run_rule("ALLOC001", path) == []
+
+
+# ----------------------------------------------------------------------
+# MUT001: mutable defaults and module state
+# ----------------------------------------------------------------------
+class TestMutableStateRule:
+    def test_mutable_default_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/defaults.py", """\
+            def collect(items=[]):
+                return items
+            """)
+        violations = run_rule("MUT001", path)
+        assert [v.rule_id for v in violations] == ["MUT001"]
+        assert "collect" in violations[0].message
+
+    def test_module_level_mutable_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/globals.py", "cache = {}\n")
+        assert [v.rule_id for v in run_rule("MUT001", path)] == ["MUT001"]
+
+    def test_constants_and_dunders_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/esm/consts.py", """\
+            __all__ = ["TABLE"]
+            TABLE = {"a": 1}
+
+            def f(tail=None):
+                return tail or []
+            """)
+        assert run_rule("MUT001", path) == []
+
+
+# ----------------------------------------------------------------------
+# DOC001: documented, annotated manager methods
+# ----------------------------------------------------------------------
+class TestDocAnnotationRule:
+    def test_undocumented_manager_method_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/toy.py", """\
+            class ToyManager:
+                def read(self, oid, offset, nbytes):
+                    return b""
+            """)
+        ids = [v.rule_id for v in run_rule("DOC001", path)]
+        # Missing docstring, missing parameter annotations, missing return.
+        assert ids == ["DOC001", "DOC001", "DOC001"]
+
+    def test_documented_annotated_method_clean(self, tmp_path):
+        path = write(tmp_path, "repro/esm/toy_ok.py", """\
+            class ToyManager:
+                def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+                    \"\"\"Read a byte range (Section 3.2).\"\"\"
+                    return b""
+
+                def _helper(self, x):
+                    return x
+            """)
+        assert run_rule("DOC001", path) == []
+
+    def test_other_classes_not_covered(self, tmp_path):
+        path = write(tmp_path, "repro/esm/other.py", """\
+            class Cursor:
+                def advance(self, n):
+                    return n
+            """)
+        assert run_rule("DOC001", path) == []
+
+
+# ----------------------------------------------------------------------
+# INV001: @pure_read static contract
+# ----------------------------------------------------------------------
+class TestPureReadContractRule:
+    def test_write_inside_pure_read_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/buffer/impure.py", """\
+            from repro.lint.contracts import pure_read
+
+            class Pool:
+                @pure_read
+                def sneaky(self, page):
+                    self.disk.write_pages(page, 1, b"")
+            """)
+        violations = run_rule("INV001", path)
+        assert [v.rule_id for v in violations] == ["INV001"]
+        assert "write_pages" in violations[0].message
+
+    def test_disk_attribute_assignment_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/buffer/assign.py", """\
+            from repro.lint.contracts import pure_read
+
+            class Pool:
+                @pure_read
+                def sneaky(self):
+                    self.disk.size = 4
+            """)
+        assert [v.rule_id for v in run_rule("INV001", path)] == ["INV001"]
+
+    def test_reading_is_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/buffer/pure.py", """\
+            from repro.lint.contracts import pure_read
+
+            class Pool:
+                @pure_read
+                def lookup(self, page):
+                    return self.frames.get(page)
+            """)
+        assert run_rule("INV001", path) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        path = write(tmp_path, "repro/esm/s1.py", """\
+            def f():
+                raise ValueError("x")  # repro-lint: disable=ERR001
+            """)
+        assert run_rule("ERR001", path) == []
+
+    def test_file_suppression(self, tmp_path):
+        path = write(tmp_path, "repro/esm/s2.py", """\
+            # repro-lint: disable-file=ERR001
+
+            def f():
+                raise ValueError("x")
+
+            def g():
+                raise TypeError("y")
+            """)
+        assert run_rule("ERR001", path) == []
+
+    def test_disable_all_on_line(self, tmp_path):
+        path = write(tmp_path, "repro/esm/s3.py", """\
+            def f(items=[]):  # repro-lint: disable=all
+                return items
+            """)
+        assert run_rule("MUT001", path) == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        path = write(tmp_path, "repro/esm/s4.py", """\
+            def f(items=[]):  # repro-lint: disable=ERR001
+                return items
+            """)
+        # Suppressing ERR001 must not hide the MUT001 violation.
+        assert [v.rule_id for v in run_rule("MUT001", path)] == ["MUT001"]
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        violations = lint_file(path)
+        assert [v.rule_id for v in violations] == ["SYN000"]
+
+    def test_violation_format(self, tmp_path):
+        path = write(tmp_path, "repro/esm/fmt.py", """\
+            def f():
+                raise ValueError("x")
+            """)
+        violation = run_rule("ERR001", path)[0]
+        assert violation.format().startswith(f"{path}:2:")
+        assert "ERR001" in violation.format()
+        assert violation.to_dict()["rule_id"] == "ERR001"
+
+    def test_lint_paths_select_and_ignore(self, tmp_path):
+        write(tmp_path, "repro/esm/multi.py", """\
+            cache = {}
+
+            def f():
+                raise ValueError("x")
+            """)
+        everything = {v.rule_id for v in lint_paths([tmp_path])}
+        assert everything == {"ERR001", "MUT001"}
+        only_mut = lint_paths([tmp_path], select={"MUT001"})
+        assert {v.rule_id for v in only_mut} == {"MUT001"}
+        no_mut = lint_paths([tmp_path], ignore={"MUT001"})
+        assert {v.rule_id for v in no_mut} == {"ERR001"}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_with_locations(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", """\
+            def f():
+                raise ValueError("x")
+            """)
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ERR001" in out
+        assert f"{path}:2" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", "cache = {}\n")
+        assert lint_main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule_id"] == "MUT001"
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        write(tmp_path, "ok.py", "X = 1\n")
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--select", "NOPE", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(tmp_path / "nope")])
+        assert exc.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# Runtime contracts (REPRO_DEBUG=1)
+# ----------------------------------------------------------------------
+class _NaughtyReader:
+    """A @pure_read method that writes — should trip the runtime check."""
+
+    def __init__(self, disk):
+        self.disk = disk
+
+    @pure_read
+    def naughty(self):
+        self.disk.write_pages(0, 1, bytes(16))
+        return True
+
+
+class TestRuntimeContracts:
+    @pytest.fixture
+    def disk(self):
+        return LargeObjectStore("eos", small_page_config()).env.disk
+
+    def test_flag_detection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert not runtime_checks_enabled()
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        assert runtime_checks_enabled()
+
+    def test_violation_raises_under_debug(self, disk, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(ContractViolationError):
+            _NaughtyReader(disk).naughty()
+
+    def test_passthrough_without_debug(self, disk, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert _NaughtyReader(disk).naughty() is True
+
+    def test_pure_methods_pass_under_debug(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        store = LargeObjectStore("eos", small_page_config())
+        oid = store.create(b"x" * 4096)
+        pool = store.env.pool
+        assert pool.lookup(10**9) is None
+        assert isinstance(pool.free_or_evictable(), int)
+        assert store.read(oid, 0, 16) == b"x" * 16
+
+
+# ----------------------------------------------------------------------
+# Meta: the shipped tree lints clean
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean():
+    violations = lint_paths([REPO_SRC])
+    assert violations == [], "\n".join(v.format() for v in violations)

@@ -103,6 +103,38 @@ class TestRecords:
         for i, rid in enumerate(rids):
             assert store.get(rid)["age"] == i
 
+    def test_emptied_record_page_is_freed(self, store):
+        # Regression: deleting the last record on a page used to leave
+        # the meta page allocated forever (an fsck-visible leak).
+        meta = store.env.areas.meta
+        baseline = meta.allocated_pages
+        rid = store.insert(name="x", age=0, picture=b"p", voice=b"v")
+        assert meta.allocated_pages > baseline
+        store.delete(rid)
+        assert meta.allocated_pages == baseline
+        assert rid.page_id not in store._pages
+
+    def test_freed_page_reports_object_not_found(self, store):
+        # Regression: after the page was returned to the allocator, a
+        # stale rid must fail with ObjectNotFoundError, not a corruption
+        # error from reading the recycled (zeroed) page.
+        rid = store.insert(name="x", age=0, picture=b"p", voice=b"v")
+        store.delete(rid)
+        with pytest.raises(ObjectNotFoundError):
+            store.get(rid)
+        with pytest.raises(ObjectNotFoundError):
+            store.update(rid, age=1)
+
+    def test_reinsert_after_page_free_reuses_space(self, store):
+        rids = [
+            store.insert(name=f"p{i}", age=i, picture=b"p", voice=b"v")
+            for i in range(3)
+        ]
+        for rid in rids:
+            store.delete(rid)
+        rid = store.insert(name="again", age=9, picture=b"p", voice=b"v")
+        assert store.get(rid)["name"] == "again"
+
     def test_record_io_is_charged(self, store):
         rid = store.insert(name="x", age=0, picture=b"p", voice=b"v")
         assert store.env.cost.stats.write_calls > 0

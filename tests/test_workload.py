@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import small_page_config
 from repro.core.api import LargeObjectStore
+from repro.core.fsck import check, check_after_workload
 from repro.workload.generator import (
     DELETE,
     INSERT,
@@ -116,13 +117,16 @@ class TestRunner:
         assert [w.ops_done for w in windows] == [25, 50, 60]
 
     def test_costs_recorded_per_kind(self, setup):
-        _store, runner = setup
+        store, runner = setup
         windows = runner.run(200, window=200)
         window = windows[0]
         assert window.reads + window.inserts + window.deletes == 200
         assert window.avg_read_ms > 0
         assert window.avg_insert_ms > 0
         assert window.utilization > 0
+        # Randomized workloads finish with a storage consistency check.
+        report = check([(store.manager, [runner.oid])])
+        assert report.clean, report.summary()
 
     def test_rejects_bad_window(self, setup):
         _store, runner = setup
@@ -132,3 +136,11 @@ class TestRunner:
 
 def test_operation_is_value_object():
     assert Operation(READ, 0, 10) == Operation(READ, 0, 10)
+
+
+@pytest.mark.parametrize("scheme", ["esm", "starburst", "eos", "blockbased"])
+def test_fsck_clean_after_randomized_workload(scheme):
+    # The repro-experiments fsck helper: every scheme must survive a
+    # seeded random workload with no dangling/double/leaked pages.
+    report = check_after_workload(scheme, n_ops=200, seed=11)
+    assert report.clean, f"{scheme}: {report.summary()}"

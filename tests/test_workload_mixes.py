@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.api import LargeObjectStore
 from repro.core.config import small_page_config
+from repro.core.fsck import check
 from repro.workload.generator import (
     DELETE,
     INSERT,
@@ -68,3 +69,6 @@ class TestRunnerWithMixes:
         runner = WorkloadRunner(store.manager, oid, gen)
         runner.run(300, window=100)
         assert 0.8 * 30_000 <= store.size(oid) <= 1.2 * 30_000
+        # Randomized workloads finish with a storage consistency check.
+        report = check([(store.manager, [oid])])
+        assert report.clean, report.summary()
