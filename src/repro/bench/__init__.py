@@ -1,0 +1,26 @@
+"""Performance bench harness: wall-clock trajectory for the simulator.
+
+The experiments measure *simulated* I/O cost, which is deterministic and
+guarded by the invariance tests; this package measures how fast the
+simulator itself runs.  ``repro-bench`` times a standard grid of
+representative operations (builds, sequential scans, random-update runs)
+at a chosen scale and emits a ``BENCH_<n>.json`` file at the repo root so
+successive PRs accumulate a perf trajectory, and CI can fail on gross
+regressions (see :data:`repro.bench.harness.REGRESSION_FACTOR`).
+"""
+
+from repro.bench.harness import (
+    MIN_GATE_WALL_S,
+    REGRESSION_FACTOR,
+    BenchPoint,
+    compare_points,
+    run_bench,
+)
+
+__all__ = [
+    "MIN_GATE_WALL_S",
+    "REGRESSION_FACTOR",
+    "BenchPoint",
+    "compare_points",
+    "run_bench",
+]

@@ -1,0 +1,157 @@
+"""``repro-bench``: run the standard bench grid and emit BENCH_<n>.json.
+
+Usage::
+
+    repro-bench                          # tiny scale, next BENCH_<n>.json
+    repro-bench --scale small --repeat 3
+    repro-bench --out BENCH_2.json       # explicit output file
+    repro-bench --check BENCH_2.json     # fail (>3x) against a baseline
+
+The output number ``<n>`` defaults to one past the highest existing
+``BENCH_*.json`` in the output directory (starting at 2, where the
+trajectory began).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import re
+import sys
+
+from repro.bench.harness import (
+    REGRESSION_FACTOR,
+    BenchPoint,
+    compare_points,
+    run_bench,
+)
+from repro.experiments.common import resolve_scale
+
+#: Schema version of the emitted JSON.
+FORMAT_VERSION = 1
+
+#: The perf trajectory starts at PR 2 (when the harness was introduced).
+FIRST_BENCH_NUMBER = 2
+
+
+def next_bench_number(directory: str) -> int:
+    """One past the highest BENCH_<n>.json in ``directory``."""
+    numbers = []
+    for path in glob.glob(os.path.join(directory, "BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if match:
+            numbers.append(int(match.group(1)))
+    return max(numbers) + 1 if numbers else FIRST_BENCH_NUMBER
+
+
+def payload(points: list[BenchPoint], scale_name: str, number: int) -> dict:
+    """The JSON document for one bench run."""
+    return {
+        "version": FORMAT_VERSION,
+        "bench": number,
+        "scale": scale_name,
+        "python": platform.python_version(),
+        "points": [point.to_dict() for point in points],
+    }
+
+
+def _format_points(points: list[BenchPoint]) -> str:
+    lines = [
+        f"{'point':<20} {'wall s':>8} {'sim s':>9} {'io calls':>9} "
+        f"{'pages':>8} {'hit rate':>9}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.name:<20} {p.wall_s:>8.3f} {p.sim_s:>9.2f} "
+            f"{p.io_calls:>9} {p.pages:>8} {p.pool_hit_rate:>9.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Time the standard operation grid (builds, scans, random "
+            "updates) and write BENCH_<n>.json for the perf trajectory."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small"),
+        default="tiny",
+        help="workload scale to time (default: tiny)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="R",
+        help="repetitions per point, keeping the fastest (default: 1)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_<n>.json in --out-dir)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for the default output name (default: .)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help=(
+            "compare against a baseline BENCH_*.json and exit non-zero "
+            f"if any point regresses more than {REGRESSION_FACTOR:g}x"
+        ),
+    )
+    args = parser.parse_args(argv)
+    scale = resolve_scale(args.scale)
+    points = run_bench(scale, repeat=args.repeat)
+    print(_format_points(points))
+
+    if args.out:
+        out_path = args.out
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(out_path))
+        number = int(match.group(1)) if match else next_bench_number(
+            os.path.dirname(out_path) or "."
+        )
+    else:
+        number = next_bench_number(args.out_dir)
+        out_path = os.path.join(args.out_dir, f"BENCH_{number}.json")
+    document = payload(points, scale.name, number)
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if baseline.get("scale") != scale.name:
+            print(
+                f"warning: baseline scale {baseline.get('scale')!r} differs "
+                f"from current {scale.name!r}; comparing anyway",
+                file=sys.stderr,
+            )
+        failures = compare_points(document["points"], baseline["points"])
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"check passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

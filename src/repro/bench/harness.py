@@ -1,0 +1,196 @@
+"""Timed bench points and baseline comparison.
+
+Every point builds a fresh store (its own disk, cost ledger, and buffer
+pool), performs one representative workload, and records:
+
+* ``wall_s`` — host wall-clock seconds (the only machine-dependent field);
+* ``sim_s`` — simulated I/O seconds, which must be stable run-to-run (a
+  changed ``sim_s`` means behaviour changed, not just speed);
+* ``io_calls`` / ``pages`` — physical call and page-transfer counts from
+  the :class:`~repro.disk.iomodel.IOStats` ledger;
+* ``pool_hit_rate`` — the buffer pool's hit fraction over the workload.
+
+:func:`compare_points` implements the CI gate: a point fails if its
+wall-clock regresses more than :data:`REGRESSION_FACTOR` times over the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.api import LargeObjectStore
+from repro.disk.iomodel import IOStats
+from repro.experiments.common import (
+    KB,
+    Scale,
+    build_object,
+    make_store,
+)
+from repro.experiments.random_ops import WORKLOAD_SEED
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadRunner
+
+#: CI failure threshold: a timed point regressing more than this factor
+#: over the committed baseline fails the bench smoke job.
+REGRESSION_FACTOR = 3.0
+
+#: Points faster than this in the baseline are exempt from the gate:
+#: sub-millisecond timings are dominated by scheduling noise and would
+#: trip the factor spuriously.
+MIN_GATE_WALL_S = 0.005
+
+#: Append/scan chunk used by the build and scan points.
+CHUNK_KB = 64
+
+#: Mean operation size of the random-update points.
+MEAN_OP_BYTES = 10 * KB
+
+#: Leaf size / threshold shared by every point (the paper's default knob).
+SETTING_PAGES = 4
+
+#: The standard grid: (kind, scheme) pairs timed at every scale.
+STANDARD_GRID = (
+    ("build", "esm"),
+    ("build", "starburst"),
+    ("build", "eos"),
+    ("scan", "esm"),
+    ("scan", "starburst"),
+    ("random", "esm"),
+    ("random", "eos"),
+    ("random", "starburst"),
+)
+
+
+@dataclasses.dataclass
+class BenchPoint:
+    """One timed measurement of the standard grid."""
+
+    name: str
+    wall_s: float
+    sim_s: float
+    io_calls: int
+    pages: int
+    pool_hit_rate: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return dataclasses.asdict(self)
+
+
+def _point(
+    name: str, store: LargeObjectStore, wall_s: float, before: IOStats
+) -> BenchPoint:
+    delta = store.stats.delta(before)
+    return BenchPoint(
+        name=name,
+        wall_s=wall_s,
+        sim_s=store.elapsed_ms(before) / 1000.0,
+        io_calls=delta.io_calls,
+        pages=delta.pages_transferred,
+        pool_hit_rate=store.env.pool.stats.hit_rate,
+    )
+
+
+def _bench_store(scheme: str) -> LargeObjectStore:
+    return make_store(
+        scheme, leaf_pages=SETTING_PAGES, threshold_pages=SETTING_PAGES
+    )
+
+
+def measure_build(scheme: str, scale: Scale) -> BenchPoint:
+    """Time building one object with fixed-size appends."""
+    store = _bench_store(scheme)
+    before = store.snapshot()
+    start = time.perf_counter()
+    build_object(store, scale.object_bytes, CHUNK_KB * KB)
+    wall = time.perf_counter() - start
+    return _point(f"build/{scheme}", store, wall, before)
+
+
+def measure_scan(scheme: str, scale: Scale) -> BenchPoint:
+    """Time a full sequential scan of a prebuilt object (build untimed)."""
+    store = _bench_store(scheme)
+    oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+    before = store.snapshot()
+    start = time.perf_counter()
+    size = store.size(oid)
+    chunk = CHUNK_KB * KB
+    position = 0
+    while position < size:
+        store.read(oid, position, min(chunk, size - position))
+        position += chunk
+    wall = time.perf_counter() - start
+    return _point(f"scan/{scheme}", store, wall, before)
+
+
+def measure_random(scheme: str, scale: Scale) -> BenchPoint:
+    """Time the 40/30/30 random-update mix on a prebuilt object."""
+    store = _bench_store(scheme)
+    oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+    n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
+    generator = WorkloadGenerator(
+        object_size=store.size(oid),
+        mean_op_size=MEAN_OP_BYTES,
+        seed=WORKLOAD_SEED,
+    )
+    runner = WorkloadRunner(store.manager, oid, generator)
+    before = store.snapshot()
+    start = time.perf_counter()
+    runner.run(n_ops, window=max(1, n_ops))
+    wall = time.perf_counter() - start
+    return _point(f"random/{scheme}", store, wall, before)
+
+
+_MEASURES = {
+    "build": measure_build,
+    "scan": measure_scan,
+    "random": measure_random,
+}
+
+
+def run_bench(scale: Scale, repeat: int = 1) -> list[BenchPoint]:
+    """Time the standard grid; with ``repeat > 1`` keep each point's
+    fastest run (wall-clock noise shrinks, simulated fields are identical
+    across repeats by construction)."""
+    points: list[BenchPoint] = []
+    for kind, scheme in STANDARD_GRID:
+        measure = _MEASURES[kind]
+        best: BenchPoint | None = None
+        for _ in range(max(1, repeat)):
+            candidate = measure(scheme, scale)
+            if best is None or candidate.wall_s < best.wall_s:
+                best = candidate
+        assert best is not None
+        points.append(best)
+    return points
+
+
+def compare_points(
+    current: list[dict[str, object]],
+    baseline: list[dict[str, object]],
+    factor: float = REGRESSION_FACTOR,
+) -> list[str]:
+    """Regression check: current vs baseline wall-clock, point by point.
+
+    Returns human-readable failure lines (empty means the gate passes).
+    Points present on only one side do not fail the gate (so adding or
+    retiring bench points does not break CI), and points whose baseline
+    is faster than :data:`MIN_GATE_WALL_S` are exempt — they are noise.
+    """
+    failures: list[str] = []
+    base_by_name = {str(p["name"]): p for p in baseline}
+    for point in current:
+        name = str(point["name"])
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        wall = float(point["wall_s"])  # type: ignore[arg-type]
+        base_wall = float(base["wall_s"])  # type: ignore[arg-type]
+        if base_wall >= MIN_GATE_WALL_S and wall > factor * base_wall:
+            failures.append(
+                f"{name}: {wall:.3f}s is more than {factor:g}x the "
+                f"baseline {base_wall:.3f}s"
+            )
+    return failures

@@ -45,6 +45,10 @@ class BuddySpace:
         #: free_sets[k] holds offsets of free extents of size 2**k.
         self._free_sets: list[set[int]] = [set() for _ in range(order + 1)]
         self._free_sets[order].add(0)
+        #: Bit ``k`` set iff ``_free_sets[k]`` is non-empty: the free-list
+        #: index that makes best-fit lookups O(1) bit arithmetic instead of
+        #: a scan over every order.
+        self._order_mask = 1 << order
         self._free_blocks = self.total_blocks
         #: 1 bit per block; bit set means the block is allocated.
         self.bitmap = bytearray(-(-self.total_blocks // 8))
@@ -64,10 +68,7 @@ class BuddySpace:
 
     def max_free_order(self) -> int:
         """Order of the largest free extent, or -1 if the space is full."""
-        for k in range(self.order, -1, -1):
-            if self._free_sets[k]:
-                return k
-        return -1
+        return self._order_mask.bit_length() - 1
 
     def is_block_allocated(self, offset: int) -> bool:
         """True if the block at ``offset`` is currently allocated."""
@@ -129,17 +130,25 @@ class BuddySpace:
     # ------------------------------------------------------------------
     def _take_extent(self, k: int) -> int | None:
         """Remove and return a free extent of order ``k``, splitting larger
-        extents as needed; ``None`` if nothing large enough is free."""
-        j = k
-        while j <= self.order and not self._free_sets[j]:
-            j += 1
-        if j > self.order:
+        extents as needed; ``None`` if nothing large enough is free.
+
+        The smallest adequate order is found from the free-list index with
+        one bit operation (lowest set bit at or above ``k``) rather than
+        probing each order's set.
+        """
+        candidates = self._order_mask >> k
+        if not candidates:
             return None
-        offset = self._free_sets[j].pop()
+        j = k + (candidates & -candidates).bit_length() - 1
+        extents = self._free_sets[j]
+        offset = extents.pop()
+        if not extents:
+            self._order_mask &= ~(1 << j)
         while j > k:
             j -= 1
             # Split: keep the left half, free the right half.
             self._free_sets[j].add(offset + (1 << j))
+            self._order_mask |= 1 << j
         return offset
 
     def _release_range(self, offset: int, n_blocks: int) -> None:
@@ -160,10 +169,22 @@ class BuddySpace:
             buddy = offset ^ (1 << k)
             if buddy not in self._free_sets[k]:
                 break
-            self._free_sets[k].discard(buddy)
+            self._free_discard(k, buddy)
             offset = min(offset, buddy)
             k += 1
+        self._free_add(k, offset)
+
+    def _free_add(self, k: int, offset: int) -> None:
+        """Add a free extent, keeping the order index in sync."""
         self._free_sets[k].add(offset)
+        self._order_mask |= 1 << k
+
+    def _free_discard(self, k: int, offset: int) -> None:
+        """Remove a free extent, keeping the order index in sync."""
+        extents = self._free_sets[k]
+        extents.discard(offset)
+        if not extents:
+            self._order_mask &= ~(1 << k)
 
     def _set_bits(self, offset: int, n_blocks: int, value: bool) -> None:
         for b in range(offset, offset + n_blocks):
@@ -202,3 +223,8 @@ class BuddySpace:
         assert free_from_lists == self._free_blocks, "free count drift"
         bitmap_allocated = sum(bin(byte).count("1") for byte in self.bitmap)
         assert bitmap_allocated == self.allocated_blocks, "bitmap count drift"
+        expected_mask = 0
+        for k, extents in enumerate(self._free_sets):
+            if extents:
+                expected_mask |= 1 << k
+        assert expected_mask == self._order_mask, "free-list order index drift"

@@ -14,6 +14,7 @@ Larger segments bypass the pool entirely (see :mod:`repro.segio`).
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 from typing import Callable
 
@@ -47,8 +48,17 @@ class BufferPool:
         self.config = config
         self.disk = disk
         self.capacity = config.buffer_pool_pages
-        self._frames: dict[int, Frame] = {}
+        #: Resident frames in recency order: every :meth:`_touch` moves the
+        #: frame to the end, so iteration order mirrors ``lru_tick`` order
+        #: and victim selection reads from the front instead of scanning
+        #: every frame for the minimum tick.
+        self._frames: collections.OrderedDict[int, Frame] = (
+            collections.OrderedDict()
+        )
         self._tick = 0
+        #: Number of resident frames with pin_count > 0, maintained on
+        #: every pin/unpin so availability queries are O(1).
+        self._pinned = 0
         self.stats = PoolStats()
 
     # ------------------------------------------------------------------
@@ -70,6 +80,8 @@ class BufferPool:
             frame = Frame(page_id=page_id, data=data)
             self._frames[page_id] = frame
         frame.pin_count += 1
+        if frame.pin_count == 1:
+            self._pinned += 1
         self._touch(frame)
         return frame
 
@@ -86,6 +98,7 @@ class BufferPool:
         frame = Frame(page_id=page_id, data=data, dirty=True,
                       pin_count=1, record=record)
         self._frames[page_id] = frame
+        self._pinned += 1
         self._touch(frame)
         return frame
 
@@ -95,6 +108,8 @@ class BufferPool:
         if frame is None or frame.pin_count <= 0:
             raise BufferPoolError(f"page {page_id} is not fixed")
         frame.pin_count -= 1
+        if frame.pin_count == 0:
+            self._pinned -= 1
         if dirty:
             frame.dirty = True
 
@@ -120,9 +135,12 @@ class BufferPool:
 
     @pure_read
     def free_or_evictable(self) -> int:
-        """Number of frames that are empty or hold unpinned pages."""
-        unpinned = sum(1 for f in self._frames.values() if f.pin_count == 0)
-        return (self.capacity - len(self._frames)) + unpinned
+        """Number of frames that are empty or hold unpinned pages.
+
+        Empty slots plus unpinned residents is ``capacity - pinned``, and
+        the pinned count is maintained incrementally, so this is O(1).
+        """
+        return self.capacity - self._pinned
 
     @pure_read
     def can_accommodate(self, n_pages: int) -> bool:
@@ -148,34 +166,41 @@ class BufferPool:
         pages = range(start, start + n_pages)
         # Pin resident pages first so eviction for the missing sub-runs
         # cannot push out pages belonging to this same request.
+        frames = self._frames
         missing = []
         for page in pages:
-            frame = self._frames.get(page)
+            frame = frames.get(page)
             if frame is None:
                 missing.append(page)
             else:
                 frame.pin_count += 1
+                if frame.pin_count == 1:
+                    self._pinned += 1
         self.stats.hits += n_pages - len(missing)
         self.stats.misses += len(missing)
         page_size = self.config.page_size
         for run_start, run_len in _contiguous_runs(missing):
             self._make_room(run_len)
-            data = self.disk.read_pages(run_start, run_len)
-            for i in range(run_len):
+            # Per-page views straight off the disk: no whole-run buffer is
+            # materialized and no per-page slice copies are made.
+            views = self.disk.read_page_views(run_start, run_len)
+            for i, data in enumerate(views):
                 frame = Frame(
                     page_id=run_start + i,
-                    data=data[i * page_size : (i + 1) * page_size],
+                    data=data,
                     record=record,
                     pin_count=1,
                 )
-                self._frames[run_start + i] = frame
+                frames[run_start + i] = frame
+            self._pinned += run_len
         chunks = []
         for page in pages:
-            frame = self._frames[page]
+            frame = frames[page]
             frame.pin_count -= 1
+            if frame.pin_count == 0:
+                self._pinned -= 1
             self._touch(frame)
-            content = frame.content()
-            chunks.append(content.ljust(page_size, b"\x00"))
+            chunks.append(_page_image(frame.content(), page_size))
         return b"".join(chunks)
 
     # ------------------------------------------------------------------
@@ -192,12 +217,16 @@ class BufferPool:
         """
         self.disk.write_pages(start, n_pages, data, record=record)
         page_size = self.config.page_size
+        frames = self._frames
         for i in range(n_pages):
-            if (start + i) in self._frames:
-                page = bytes(data[i * page_size : (i + 1) * page_size])
-                self.update_if_resident(
-                    start + i, page.ljust(page_size, b"\x00")
+            page_id = start + i
+            if page_id in frames:
+                # Slice the page once and hand the finished image through;
+                # update_if_resident stores it as-is.
+                page = _page_image(
+                    data[i * page_size : (i + 1) * page_size], page_size
                 )
+                self.update_if_resident(page_id, page)
 
     def update_if_resident(self, page_id: int, data: bytes,
                            dirty: bool = False) -> None:
@@ -238,9 +267,10 @@ class BufferPool:
         )
         for run_start, run_len in _contiguous_runs(dirty_ids):
             data = b"".join(
-                self._frames[run_start + i]
-                .content()
-                .ljust(self.config.page_size, b"\x00")
+                _page_image(
+                    self._frames[run_start + i].content(),
+                    self.config.page_size,
+                )
                 for i in range(run_len)
             )
             record = all(
@@ -258,6 +288,7 @@ class BufferPool:
     def _touch(self, frame: Frame) -> None:
         self._tick += 1
         frame.lru_tick = self._tick
+        self._frames.move_to_end(frame.page_id)
 
     def _make_room(self, n_frames: int) -> None:
         while len(self._frames) + n_frames > self.capacity:
@@ -273,25 +304,36 @@ class BufferPool:
         del self._frames[victim.page_id]
 
     def _choose_victim(self) -> Frame | None:
-        """LRU among clean unpinned frames, then dirty unpinned frames."""
-        best: Frame | None = None
-        for prefer_clean in (True, False):
-            for frame in self._frames.values():
-                if frame.pin_count:
-                    continue
-                if frame.dirty == prefer_clean:
-                    continue
-                if best is None or frame.lru_tick < best.lru_tick:
-                    best = frame
-            if best is not None:
-                return best
-        return None
+        """LRU among clean unpinned frames, then dirty unpinned frames.
+
+        ``_frames`` iterates in recency order (it mirrors ``lru_tick``
+        order), so the first unpinned clean frame *is* the clean LRU
+        victim — the scan usually stops after one or two frames instead of
+        ranking every frame by tick — and the first unpinned dirty frame
+        seen is the exact dirty-LRU fallback.
+        """
+        fallback: Frame | None = None
+        for frame in self._frames.values():
+            if frame.pin_count:
+                continue
+            if not frame.dirty:
+                return frame
+            if fallback is None:
+                fallback = frame
+        return fallback
 
     def _writeback(self, frame: Frame) -> None:
-        content = frame.content().ljust(self.config.page_size, b"\x00")
+        content = _page_image(frame.content(), self.config.page_size)
         self.disk.write_pages(frame.page_id, 1, content, record=frame.record)
         frame.dirty = False
         self.stats.dirty_writebacks += 1
+
+
+def _page_image(content: bytes, page_size: int) -> bytes:
+    """Pad content to a full page image; full pages pass through unchanged."""
+    if len(content) == page_size:
+        return content
+    return content.ljust(page_size, b"\x00")
 
 
 def _contiguous_runs(page_ids: list[int]) -> list[tuple[int, int]]:

@@ -35,6 +35,12 @@ class SimulatedDisk:
         self.config = config
         self.cost = cost_model
         self._pages: dict[int, bytes | None] = {}
+        #: Shared all-zero page returned for unwritten/phantom single pages.
+        #: Safe to alias because page images are immutable ``bytes``.
+        self._zero_page = bytes(config.page_size)
+        #: Lazily grown zero buffer backing whole-run phantom reads; runs
+        #: are served as zero-copy slices of one shared allocation.
+        self._zero_buffer = self._zero_page
 
     # ------------------------------------------------------------------
     # Accounted physical I/O
@@ -48,6 +54,24 @@ class SimulatedDisk:
         self._check_range(start, n_pages)
         self.cost.charge_read(n_pages)
         return self.peek_pages(start, n_pages)
+
+    def read_page_views(self, start: int, n_pages: int) -> list[bytes]:
+        """Read a run in one I/O call, returned as one object per page.
+
+        The zero-copy twin of :meth:`read_pages` for callers that want the
+        run page by page (the buffer pool): recorded pages are returned as
+        the exact stored page image and unwritten/phantom pages as the
+        shared zero page, so no slicing or zero-buffer materialization
+        happens at all.  Charges the same cost as :meth:`read_pages`.
+        """
+        self._check_range(start, n_pages)
+        self.cost.charge_read(n_pages)
+        pages = self._pages
+        zero = self._zero_page
+        return [
+            content if (content := pages.get(start + i)) is not None else zero
+            for i in range(n_pages)
+        ]
 
     def write_pages(
         self, start: int, n_pages: int, data: bytes, record: bool = True
@@ -67,9 +91,21 @@ class SimulatedDisk:
             )
         self.cost.charge_write(n_pages)
         if record:
-            padded = bytes(data).ljust(n_pages * page_size, b"\x00")
+            # Store per-page images straight from the caller's buffer: one
+            # copy per page instead of the old pad-whole-buffer-then-slice
+            # (which copied the run twice before slicing it a third time).
+            view = memoryview(data)
+            data_len = len(data)
             for i in range(n_pages):
-                self._pages[start + i] = padded[i * page_size : (i + 1) * page_size]
+                lo = i * page_size
+                if lo >= data_len:
+                    self._pages[start + i] = self._zero_page
+                elif lo + page_size <= data_len:
+                    self._pages[start + i] = bytes(view[lo : lo + page_size])
+                else:
+                    self._pages[start + i] = bytes(view[lo:data_len]).ljust(
+                        page_size, b"\x00"
+                    )
         else:
             for i in range(n_pages):
                 self._pages[start + i] = _PHANTOM
@@ -79,19 +115,37 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     @pure_read
     def peek_pages(self, start: int, n_pages: int) -> bytes:
-        """Return page contents without charging any I/O cost."""
+        """Return page contents without charging any I/O cost.
+
+        Single pass over the range: page contents are collected while
+        checking whether anything was recorded, and an all-zero range
+        (unwritten or phantom) is served from one shared zero buffer
+        instead of being rebuilt per call.
+        """
         self._check_range(start, n_pages)
-        page_size = self.config.page_size
         pages = self._pages
-        if not any((start + i) in pages and pages[start + i] is not None
-                   for i in range(n_pages)):
-            # Fast path for unwritten/phantom ranges: one zero buffer.
-            return bytes(n_pages * page_size)
-        chunks = []
+        zero = self._zero_page
+        chunks: list[bytes] = []
+        any_content = False
         for i in range(n_pages):
             content = pages.get(start + i)
-            chunks.append(content if content is not None else bytes(page_size))
+            if content is None:
+                chunks.append(zero)
+            else:
+                any_content = True
+                chunks.append(content)
+        if not any_content:
+            return self._zero_run(n_pages)
         return b"".join(chunks)
+
+    def _zero_run(self, n_pages: int) -> bytes:
+        """A shared immutable all-zero buffer of ``n_pages`` pages."""
+        needed = n_pages * self.config.page_size
+        if len(self._zero_buffer) < needed:
+            self._zero_buffer = bytes(needed)
+        if len(self._zero_buffer) == needed:
+            return self._zero_buffer
+        return self._zero_buffer[:needed]
 
     def poke_pages(self, start: int, data: bytes) -> None:
         """Overwrite page contents without charging any I/O cost.

@@ -4,6 +4,8 @@ Usage::
 
     repro-experiments                      # everything, default scale
     repro-experiments fig5 table1         # selected experiments
+    repro-experiments --jobs 4            # fan the grid across 4 processes
+    repro-experiments --list              # show experiments and scales
     repro-experiments --plot fig5         # add an ASCII chart rendering
     repro-experiments fsck --scheme eos   # workload + consistency check
     REPRO_SCALE=paper repro-experiments   # the paper's full 10 MB scale
@@ -14,14 +16,48 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.experiments.common import PAPER_SCALE, SMALL_SCALE, TINY_SCALE
 from repro.experiments.registry import (
     CSV_EXPORTS,
     EXPERIMENTS,
     PLOTTABLE,
     export_csv,
+    grid_for,
     run,
     run_plot,
 )
+
+_EPILOG = """\
+--jobs N computes the experiment grid (every scheme x setting x
+operation-size point) in N worker processes before rendering; reports and
+simulated-cost counters are bit-identical to a serial run because every
+point is an isolated simulation with a fixed per-point seed.  --jobs 1
+(the default) keeps the fully serial path.  --list prints the known
+experiments, their grid sizes, and the available REPRO_SCALE values
+without running anything.
+"""
+
+
+def _list_text() -> str:
+    """The --list report: experiments, grid sizes, and scales."""
+    lines = ["experiments:"]
+    for name in sorted(EXPERIMENTS):
+        tags = []
+        if name in PLOTTABLE:
+            tags.append("plot")
+        if name in CSV_EXPORTS:
+            tags.append("csv")
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        lines.append(
+            f"  {name:<10} {len(grid_for(name)):>3} grid points{suffix}"
+        )
+    lines.append("scales (REPRO_SCALE):")
+    for scale in (TINY_SCALE, SMALL_SCALE, PAPER_SCALE):
+        lines.append(
+            f"  {scale.name:<10} {scale.object_bytes >> 10:>6} KB object, "
+            f"{scale.n_ops} ops"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +76,8 @@ def main(argv: list[str] | None = None) -> int:
             "Scale is controlled by REPRO_SCALE=tiny|small|paper "
             "(or REPRO_FULL=1)."
         ),
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
@@ -47,6 +85,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME",
         help=f"experiments to run (default: all). Known: "
              f"{', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the experiment grid (default: 1, "
+            "fully serial)"
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_only",
+        help="list known experiments and scales, run nothing",
     )
     parser.add_argument(
         "--csv",
@@ -65,7 +119,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.list_only:
+        print(_list_text())
+        return 0
     names = args.experiments or sorted(EXPERIMENTS)
+    if args.jobs > 1:
+        # Warm the memo caches from worker processes; the serial assembly
+        # below then renders from cached results, bit-identically.
+        from repro.experiments.parallel import precompute
+
+        precompute(names, jobs=args.jobs)
     for name in names:
         print(run(name))
         if args.plot and name in PLOTTABLE:

@@ -57,6 +57,26 @@ class BuildTimeResult:
         )
 
 
+#: Memoized build times keyed like :func:`build_time_seconds`'s arguments;
+#: an explicit dict so the parallel runner can prime it (see
+#: :mod:`repro.experiments.parallel`).
+_BUILD_CACHE: dict[tuple[str, int, int, int, SystemConfig], float] = {}
+
+
+def compute_build_time(
+    scheme: str,
+    append_kb: int,
+    object_bytes: int,
+    leaf_pages: int,
+    config: SystemConfig,
+) -> float:
+    """Measure one build point (no memoization)."""
+    store = make_store(scheme, leaf_pages=leaf_pages, config=config)
+    before = store.snapshot()
+    build_object(store, object_bytes, append_kb * KB)
+    return store.elapsed_ms(before) / 1000.0
+
+
 def build_time_seconds(
     scheme: str,
     append_kb: int,
@@ -66,10 +86,33 @@ def build_time_seconds(
     config: SystemConfig = PAPER_CONFIG,
 ) -> float:
     """Simulated seconds to build one object with fixed-size appends."""
-    store = make_store(scheme, leaf_pages=leaf_pages, config=config)
-    before = store.snapshot()
-    build_object(store, object_bytes, append_kb * KB)
-    return store.elapsed_ms(before) / 1000.0
+    key = (scheme, append_kb, object_bytes, leaf_pages, config)
+    cached = _BUILD_CACHE.get(key)
+    if cached is None:
+        cached = compute_build_time(
+            scheme, append_kb, object_bytes, leaf_pages, config
+        )
+        _BUILD_CACHE[key] = cached
+    return cached
+
+
+def prime(
+    scheme: str,
+    append_kb: int,
+    object_bytes: int,
+    leaf_pages: int,
+    config: SystemConfig,
+    seconds: float,
+) -> None:
+    """Insert a precomputed build time (parallel runner hook)."""
+    _BUILD_CACHE.setdefault(
+        (scheme, append_kb, object_bytes, leaf_pages, config), seconds
+    )
+
+
+def clear_cache() -> None:
+    """Drop memoized build times."""
+    _BUILD_CACHE.clear()
 
 
 def run_fig5(

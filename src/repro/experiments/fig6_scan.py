@@ -55,6 +55,32 @@ class ScanTimeResult:
         )
 
 
+#: Memoized scan times; an explicit dict so the parallel runner can prime
+#: it (see :mod:`repro.experiments.parallel`).
+_SCAN_CACHE: dict[tuple[str, int, int, int, SystemConfig], float] = {}
+
+
+def compute_scan_time(
+    scheme: str,
+    scan_kb: int,
+    object_bytes: int,
+    leaf_pages: int,
+    config: SystemConfig,
+) -> float:
+    """Measure one scan point (no memoization)."""
+    store = make_store(scheme, leaf_pages=leaf_pages, config=config)
+    oid = build_object(store, object_bytes, scan_kb * KB)
+    before = store.snapshot()
+    chunk = scan_kb * KB
+    position = 0
+    size = store.size(oid)
+    while position < size:
+        take = min(chunk, size - position)
+        store.read(oid, position, take)
+        position += take
+    return store.elapsed_ms(before) / 1000.0
+
+
 def scan_time_seconds(
     scheme: str,
     scan_kb: int,
@@ -69,17 +95,33 @@ def scan_time_seconds(
     appends" — slightly important for Starburst/EOS, whose structure
     depends on the size of the first append.
     """
-    store = make_store(scheme, leaf_pages=leaf_pages, config=config)
-    oid = build_object(store, object_bytes, scan_kb * KB)
-    before = store.snapshot()
-    chunk = scan_kb * KB
-    position = 0
-    size = store.size(oid)
-    while position < size:
-        take = min(chunk, size - position)
-        store.read(oid, position, take)
-        position += take
-    return store.elapsed_ms(before) / 1000.0
+    key = (scheme, scan_kb, object_bytes, leaf_pages, config)
+    cached = _SCAN_CACHE.get(key)
+    if cached is None:
+        cached = compute_scan_time(
+            scheme, scan_kb, object_bytes, leaf_pages, config
+        )
+        _SCAN_CACHE[key] = cached
+    return cached
+
+
+def prime(
+    scheme: str,
+    scan_kb: int,
+    object_bytes: int,
+    leaf_pages: int,
+    config: SystemConfig,
+    seconds: float,
+) -> None:
+    """Insert a precomputed scan time (parallel runner hook)."""
+    _SCAN_CACHE.setdefault(
+        (scheme, scan_kb, object_bytes, leaf_pages, config), seconds
+    )
+
+
+def clear_cache() -> None:
+    """Drop memoized scan times."""
+    _SCAN_CACHE.clear()
 
 
 def run_fig6(

@@ -1,0 +1,150 @@
+"""Parallel experiment runner: fan the grid across worker processes.
+
+The experiments are embarrassingly parallel — every
+:class:`~repro.experiments.grid.GridPoint` builds its own simulated disk,
+cost ledger, and workload generator (seeded per point with the fixed
+:data:`~repro.experiments.random_ops.WORKLOAD_SEED`), so points share no
+state and their results do not depend on scheduling.  The runner exploits
+that in three steps:
+
+1. :func:`run_grid` computes every point, either in-process or via a
+   :class:`concurrent.futures.ProcessPoolExecutor`; ``executor.map``
+   preserves submission order, so results come back deterministically
+   ordered regardless of which worker finished first.
+2. :func:`prime_results` inserts the computed values into the per-module
+   memo caches (``random_ops``, ``fig5_build``, ``fig6_scan``,
+   ``scaling``, ``summary``).
+3. The caller then runs the ordinary serial assembly
+   (:func:`repro.experiments.registry.run`), which finds every expensive
+   point already cached and renders reports **bit-identical** to a serial
+   run — the invariance contract checked by ``tests/test_parallel.py``.
+
+:func:`precompute` bundles the three steps for the CLI's ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Sequence
+
+from repro.core.errors import InvalidArgumentError
+from repro.experiments import (
+    fig5_build,
+    fig6_scan,
+    random_ops,
+    scaling,
+    summary,
+)
+from repro.experiments.common import Scale, resolve_scale
+from repro.experiments.grid import GridPoint, full_grid
+
+
+def compute_point(point: GridPoint) -> Any:
+    """Compute one grid point from scratch (runs inside workers).
+
+    Returns the point's raw result: a
+    :class:`~repro.experiments.random_ops.RunResult` for random-update
+    points, a :class:`~repro.experiments.scaling.ScalingResult` for
+    scaling points, and a float (simulated seconds) for build/scan
+    points.  All of these pickle cleanly back to the parent.
+    """
+    scale = resolve_scale(point.scale_name)
+    if point.kind == "random-ops":
+        key = random_ops.make_run_key(
+            point.scheme, point.setting, point.mean_op, scale
+        )
+        return random_ops.compute_run(key, point.config)
+    if point.kind == "build":
+        return fig5_build.compute_build_time(
+            point.scheme, point.append_kb, scale.object_bytes,
+            point.setting, point.config,
+        )
+    if point.kind == "scan":
+        return fig6_scan.compute_scan_time(
+            point.scheme, point.append_kb, scale.object_bytes,
+            point.setting, point.config,
+        )
+    if point.kind == "scaling":
+        return scaling.compute_scaling(point.scheme, scale, point.config)
+    if point.kind == "summary-scan":
+        return summary.compute_scan_seconds(
+            point.scheme, point.setting, scale, point.config
+        )
+    raise InvalidArgumentError(f"unknown grid point kind {point.kind!r}")
+
+
+def run_grid(points: Sequence[GridPoint], jobs: int = 1) -> list[Any]:
+    """Compute every grid point, returning results in point order.
+
+    ``jobs <= 1`` computes in-process; otherwise a process pool of up to
+    ``jobs`` workers is used (never more workers than points).  Either
+    way the result list lines up index-for-index with ``points``.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        return [compute_point(point) for point in points]
+    workers = min(jobs, len(points))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(compute_point, points, chunksize=1))
+
+
+def prime_results(
+    points: Sequence[GridPoint], results: Sequence[Any]
+) -> None:
+    """Insert computed grid results into the per-module memo caches."""
+    for point, result in zip(points, results):
+        scale = resolve_scale(point.scale_name)
+        if point.kind == "random-ops":
+            key = random_ops.make_run_key(
+                point.scheme, point.setting, point.mean_op, scale
+            )
+            random_ops.prime(key, point.config, result)
+        elif point.kind == "build":
+            fig5_build.prime(
+                point.scheme, point.append_kb, scale.object_bytes,
+                point.setting, point.config, result,
+            )
+        elif point.kind == "scan":
+            fig6_scan.prime(
+                point.scheme, point.append_kb, scale.object_bytes,
+                point.setting, point.config, result,
+            )
+        elif point.kind == "scaling":
+            scaling.prime(
+                point.scheme, scale, point.config,
+                scaling.DEFAULT_STEPS, scaling.DEFAULT_INSERT_BYTES, result,
+            )
+        elif point.kind == "summary-scan":
+            summary.prime_scan(
+                point.scheme, point.setting, scale, point.config, result
+            )
+        else:
+            raise InvalidArgumentError(
+                f"unknown grid point kind {point.kind!r}"
+            )
+
+
+def precompute(
+    names: list[str], jobs: int, scale: Scale | None = None
+) -> int:
+    """Fan the selected experiments' grids out and warm the memo caches.
+
+    Returns the number of distinct points computed.  After this, running
+    the experiments serially (the normal registry path) reuses every
+    primed result, so report text and cost counters match a purely serial
+    run bit for bit.
+    """
+    scale = scale or resolve_scale()
+    points = full_grid(names, scale)
+    results = run_grid(points, jobs=jobs)
+    prime_results(points, results)
+    return len(points)
+
+
+def clear_caches() -> None:
+    """Drop every experiment memo cache (tests use this for isolation)."""
+    random_ops.clear_cache()
+    fig5_build.clear_cache()
+    fig6_scan.clear_cache()
+    scaling.clear_cache()
+    summary.clear_cache()

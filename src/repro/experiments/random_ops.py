@@ -12,7 +12,6 @@ share runs instead of recomputing them.
 from __future__ import annotations
 
 import dataclasses
-import functools
 
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.experiments.common import (
@@ -90,8 +89,46 @@ def _steady(windows: list[WindowStats], kind: str) -> float:
     return total / count if count else 0.0
 
 
-@functools.lru_cache(maxsize=None)
-def _run_cached(key: RunKey, config: SystemConfig) -> RunResult:
+#: Memoized runs keyed by (RunKey, SystemConfig) — an explicit dict (not
+#: ``functools.lru_cache``) so the parallel runner can *prime* it with
+#: results computed in worker processes; both key halves are frozen
+#: dataclasses, so the cache key is hashable and pickle-stable.
+_RUN_CACHE: dict[tuple[RunKey, SystemConfig], RunResult] = {}
+
+
+def make_run_key(
+    scheme: str,
+    setting: int,
+    mean_op: int,
+    scale: Scale,
+    shadowing: bool = True,
+) -> RunKey:
+    """The canonical run identity for one (scheme, setting, op-size) point.
+
+    Shared by :func:`run_random_ops` and the grid builders so that a run
+    computed in a worker process primes exactly the cache entry the figure
+    assembly will look up.
+    """
+    n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
+    window = max(1, n_ops // scale.marks) if scale.marks else n_ops
+    return RunKey(
+        scheme=scheme,
+        setting=setting,
+        mean_op=mean_op,
+        object_bytes=scale.object_bytes,
+        n_ops=n_ops,
+        window=window,
+        shadowing=shadowing,
+    )
+
+
+def compute_run(key: RunKey, config: SystemConfig = PAPER_CONFIG) -> RunResult:
+    """Execute one random-update run (no memoization).
+
+    Deterministic per point: every run seeds its own
+    :class:`WorkloadGenerator` with :data:`WORKLOAD_SEED`, so the result
+    does not depend on which process computes it or in what order.
+    """
     store = make_store(
         key.scheme,
         leaf_pages=key.setting,
@@ -120,20 +157,19 @@ def run_random_ops(
 ) -> RunResult:
     """Run (or fetch the memoized) random-update experiment."""
     scale = scale or resolve_scale()
-    n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
-    window = max(1, n_ops // scale.marks) if scale.marks else n_ops
-    key = RunKey(
-        scheme=scheme,
-        setting=setting,
-        mean_op=mean_op,
-        object_bytes=scale.object_bytes,
-        n_ops=n_ops,
-        window=window,
-        shadowing=shadowing,
-    )
-    return _run_cached(key, config)
+    key = make_run_key(scheme, setting, mean_op, scale, shadowing)
+    cached = _RUN_CACHE.get((key, config))
+    if cached is None:
+        cached = compute_run(key, config)
+        _RUN_CACHE[(key, config)] = cached
+    return cached
+
+
+def prime(key: RunKey, config: SystemConfig, result: RunResult) -> None:
+    """Insert a precomputed run into the memo (parallel runner hook)."""
+    _RUN_CACHE.setdefault((key, config), result)
 
 
 def clear_cache() -> None:
     """Drop memoized runs (tests use this to control memory)."""
-    _run_cached.cache_clear()
+    _RUN_CACHE.clear()

@@ -15,6 +15,7 @@ from repro.experiments import (
     summary,
     tables,
 )
+from repro.experiments.grid import GRID_BUILDERS, GridPoint, full_grid, grid_for
 
 #: name -> callable returning the experiment's textual report.
 EXPERIMENTS: dict[str, Callable[[], str]] = {
@@ -33,6 +34,25 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "scaling": scaling.main,
     "summary": summary.main,
 }
+
+
+#: name -> grid builder: the work points the experiment consumes, exposed
+#: so the parallel runner can compute them out of process (every name in
+#: EXPERIMENTS has an entry; see :mod:`repro.experiments.grid`).
+GRIDS = GRID_BUILDERS
+
+__all__ = [
+    "CSV_EXPORTS",
+    "EXPERIMENTS",
+    "GRIDS",
+    "GridPoint",
+    "PLOTTABLE",
+    "export_csv",
+    "full_grid",
+    "grid_for",
+    "run",
+    "run_plot",
+]
 
 
 def run(name: str) -> str:

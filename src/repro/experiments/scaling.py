@@ -67,16 +67,44 @@ class ScalingResult:
         return self.growth_exponent(self.insert_ms)
 
 
+#: Default sweep depth (size, 2x, 4x) and probe insert size.
+DEFAULT_STEPS = 3
+DEFAULT_INSERT_BYTES = 10 * KB
+
+#: Memoized scaling sweeps; an explicit dict so the parallel runner can
+#: prime it (see :mod:`repro.experiments.parallel`).
+_SCALING_CACHE: dict[tuple[str, Scale, SystemConfig, int, int], ScalingResult] = {}
+
+
 def run_scaling(
     scheme: str,
     scale: Scale | None = None,
     config: SystemConfig = PAPER_CONFIG,
     *,
-    steps: int = 3,
-    insert_bytes: int = 10 * KB,
+    steps: int = DEFAULT_STEPS,
+    insert_bytes: int = DEFAULT_INSERT_BYTES,
+) -> ScalingResult:
+    """Run (or fetch the memoized) scaling sweep for one scheme."""
+    scale = scale or resolve_scale()
+    key = (scheme, scale, config, steps, insert_bytes)
+    cached = _SCALING_CACHE.get(key)
+    if cached is None:
+        cached = compute_scaling(
+            scheme, scale, config, steps=steps, insert_bytes=insert_bytes
+        )
+        _SCALING_CACHE[key] = cached
+    return cached
+
+
+def compute_scaling(
+    scheme: str,
+    scale: Scale,
+    config: SystemConfig = PAPER_CONFIG,
+    *,
+    steps: int = DEFAULT_STEPS,
+    insert_bytes: int = DEFAULT_INSERT_BYTES,
 ) -> ScalingResult:
     """Measure build + insert costs at size, 2x size, 4x size, ..."""
-    scale = scale or resolve_scale()
     sizes = [scale.object_bytes << step for step in range(steps)]
     build_s: list[float] = []
     insert_ms: list[float] = []
@@ -99,6 +127,25 @@ def run_scaling(
         build_s=build_s,
         insert_ms=insert_ms,
     )
+
+
+def prime(
+    scheme: str,
+    scale: Scale,
+    config: SystemConfig,
+    steps: int,
+    insert_bytes: int,
+    result: ScalingResult,
+) -> None:
+    """Insert a precomputed scaling sweep (parallel runner hook)."""
+    _SCALING_CACHE.setdefault(
+        (scheme, scale, config, steps, insert_bytes), result
+    )
+
+
+def clear_cache() -> None:
+    """Drop memoized scaling sweeps."""
+    _SCALING_CACHE.clear()
 
 
 def format_scaling(results: list[ScalingResult]) -> str:

@@ -57,13 +57,19 @@ def summarize_scheme(
         read_ms=result.steady_read_ms(),
         insert_ms=result.steady_insert_ms(),
         delete_ms=result.steady_delete_ms(),
-        scan_s=_scan_seconds(scheme, setting, scale, config),
+        scan_s=scan_seconds(scheme, setting, scale, config),
     )
 
 
-def _scan_seconds(
+#: Memoized full-object scan times; an explicit dict so the parallel
+#: runner can prime it (see :mod:`repro.experiments.parallel`).
+_SCAN_CACHE: dict[tuple[str, int, Scale, SystemConfig], float] = {}
+
+
+def compute_scan_seconds(
     scheme: str, setting: int, scale: Scale, config: SystemConfig
 ) -> float:
+    """Measure one scheme's full-object sequential scan (no memoization)."""
     store = make_store(
         scheme, leaf_pages=max(setting, 1), threshold_pages=max(setting, 1),
         config=config,
@@ -78,6 +84,47 @@ def _scan_seconds(
     return store.elapsed_ms(before) / 1000.0
 
 
+def scan_seconds(
+    scheme: str,
+    setting: int,
+    scale: Scale,
+    config: SystemConfig = PAPER_CONFIG,
+) -> float:
+    """Memoized full-object sequential scan time for the summary table."""
+    key = (scheme, setting, scale, config)
+    cached = _SCAN_CACHE.get(key)
+    if cached is None:
+        cached = compute_scan_seconds(scheme, setting, scale, config)
+        _SCAN_CACHE[key] = cached
+    return cached
+
+
+def prime_scan(
+    scheme: str,
+    setting: int,
+    scale: Scale,
+    config: SystemConfig,
+    seconds: float,
+) -> None:
+    """Insert a precomputed scan time (parallel runner hook)."""
+    _SCAN_CACHE.setdefault((scheme, setting, scale, config), seconds)
+
+
+def clear_cache() -> None:
+    """Drop memoized scan times."""
+    _SCAN_CACHE.clear()
+
+
+def matched_setting(mean_op: int, config: SystemConfig = PAPER_CONFIG) -> int:
+    """ESM leaf size / EOS threshold matched to the mean operation size.
+
+    The Section 4.6 recipe: twice the pages an average operation touches,
+    but never below 4 pages.
+    """
+    pages_per_op = max(1, -(-mean_op // config.page_size))
+    return max(4, 2 * pages_per_op)
+
+
 def run_summary(
     mean_op: int = 10 * KB,
     scale: Scale | None = None,
@@ -85,8 +132,7 @@ def run_summary(
 ) -> list[SchemeSummary]:
     """All schemes' rows, with settings matched to the operation size."""
     scale = scale or resolve_scale()
-    pages_per_op = max(1, -(-mean_op // config.page_size))
-    matched = max(4, 2 * pages_per_op)  # the Section 4.6 recipe
+    matched = matched_setting(mean_op, config)
     rows = [
         summarize_scheme("esm", matched, mean_op, scale, config),
         summarize_scheme("starburst", 0, mean_op, scale, config),

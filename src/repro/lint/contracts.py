@@ -30,9 +30,25 @@ F = TypeVar("F", bound=Callable[..., Any])
 #: Environment variable that switches the runtime checks on.
 RUNTIME_FLAG = "REPRO_DEBUG"
 
+# ``os.environ.get`` costs ~1 microsecond per call (key encode + mapping
+# lookup), and the @pure_read wrapper sits on paths invoked hundreds of
+# thousands of times per experiment run.  Reading the flag through the
+# environment's underlying dict keeps the check dynamic (tests monkeypatch
+# REPRO_DEBUG mid-process) at plain-dict-lookup cost.
+try:
+    _ENV_DATA = os.environ._data  # type: ignore[attr-defined]
+    _FLAG_KEY = os.environ.encodekey(RUNTIME_FLAG)  # type: ignore[attr-defined]
+    _FLAG_ON = os.environ.encodevalue("1")  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - non-CPython environ layout
+    _ENV_DATA = None
+    _FLAG_KEY = RUNTIME_FLAG
+    _FLAG_ON = "1"
+
 
 def runtime_checks_enabled() -> bool:
     """True when ``REPRO_DEBUG=1`` is set in the environment."""
+    if _ENV_DATA is not None:
+        return _ENV_DATA.get(_FLAG_KEY) == _FLAG_ON
     return os.environ.get(RUNTIME_FLAG, "") == "1"
 
 

@@ -1,0 +1,142 @@
+"""Tests for the repro-bench harness and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import cli as bench_cli
+from repro.bench.harness import (
+    MIN_GATE_WALL_S,
+    BenchPoint,
+    compare_points,
+    run_bench,
+)
+from repro.experiments.common import resolve_scale
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    yield
+
+
+class TestHarness:
+    def test_standard_grid_points(self):
+        points = run_bench(resolve_scale("tiny"))
+        names = [p.name for p in points]
+        assert "build/esm" in names
+        assert "scan/starburst" in names
+        assert "random/eos" in names
+        assert len(names) == len(set(names))
+
+    def test_points_record_real_activity(self):
+        points = run_bench(resolve_scale("tiny"))
+        for point in points:
+            assert point.wall_s >= 0
+            assert point.sim_s > 0
+            assert point.io_calls > 0
+            assert point.pages > 0
+            assert 0.0 <= point.pool_hit_rate <= 1.0
+
+    def test_simulated_fields_are_deterministic(self):
+        first = run_bench(resolve_scale("tiny"))
+        second = run_bench(resolve_scale("tiny"))
+        for a, b in zip(first, second):
+            assert (a.name, a.sim_s, a.io_calls, a.pages) == (
+                b.name, b.sim_s, b.io_calls, b.pages
+            )
+
+
+class TestCompare:
+    def _dict(self, name, wall):
+        return BenchPoint(
+            name=name, wall_s=wall, sim_s=1.0, io_calls=1, pages=1,
+            pool_hit_rate=0.5,
+        ).to_dict()
+
+    def test_regression_detected(self):
+        baseline = [self._dict("random/esm", 0.1)]
+        current = [self._dict("random/esm", 0.5)]
+        failures = compare_points(current, baseline)
+        assert len(failures) == 1
+        assert "random/esm" in failures[0]
+
+    def test_within_factor_passes(self):
+        baseline = [self._dict("random/esm", 0.1)]
+        current = [self._dict("random/esm", 0.25)]
+        assert compare_points(current, baseline) == []
+
+    def test_noise_floor_exempts_fast_points(self):
+        baseline = [self._dict("build/esm", MIN_GATE_WALL_S / 2)]
+        current = [self._dict("build/esm", 10.0)]
+        assert compare_points(current, baseline) == []
+
+    def test_unknown_points_do_not_fail_the_gate(self):
+        baseline = [self._dict("retired/point", 0.1)]
+        current = [self._dict("brand/new", 99.0)]
+        assert compare_points(current, baseline) == []
+
+
+class TestNumbering:
+    def test_first_bench_number(self, tmp_path):
+        assert bench_cli.next_bench_number(str(tmp_path)) == 2
+
+    def test_next_after_existing(self, tmp_path):
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        (tmp_path / "BENCH_10.json").write_text("{}")
+        assert bench_cli.next_bench_number(str(tmp_path)) == 11
+
+
+class TestCLI:
+    def test_writes_json_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_7.json"
+        assert bench_cli.main(["--scale", "tiny", "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["bench"] == 7
+        assert document["scale"] == "tiny"
+        assert document["version"] == bench_cli.FORMAT_VERSION
+        assert {p["name"] for p in document["points"]} >= {
+            "build/esm", "random/starburst"
+        }
+
+    def test_default_name_auto_increments(self, tmp_path, capsys):
+        assert bench_cli.main(
+            ["--scale", "tiny", "--out-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "BENCH_2.json").exists()
+        assert bench_cli.main(
+            ["--scale", "tiny", "--out-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "BENCH_3.json").exists()
+
+    def test_check_passes_against_generous_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_2.json"
+        assert bench_cli.main(["--scale", "tiny", "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        for point in document["points"]:
+            point["wall_s"] = point["wall_s"] * 100 + 1.0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        assert bench_cli.main(
+            ["--scale", "tiny", "--out", str(out), "--check", str(baseline)]
+        ) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys, monkeypatch):
+        slow = BenchPoint(
+            name="random/esm", wall_s=9.0, sim_s=1.0, io_calls=1, pages=1,
+            pool_hit_rate=0.5,
+        )
+        monkeypatch.setattr(
+            bench_cli, "run_bench", lambda scale, repeat=1: [slow]
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1, "bench": 2, "scale": "tiny",
+            "points": [{"name": "random/esm", "wall_s": 0.1}],
+        }))
+        out = tmp_path / "BENCH_5.json"
+        assert bench_cli.main(
+            ["--scale", "tiny", "--out", str(out), "--check", str(baseline)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err

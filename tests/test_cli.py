@@ -33,6 +33,24 @@ def test_unknown_experiment_raises():
         main(["fig99"])
 
 
+def test_list_flag_runs_nothing(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "experiments:" in out
+    assert "fig5" in out
+    assert "grid points" in out
+    assert "tiny" in out and "paper" in out
+    assert "Figure 5" not in out  # nothing actually ran
+
+
+def test_help_documents_jobs(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert "--jobs" in out
+    assert "bit-identical" in out
+
+
 def test_help_lists_experiments(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])

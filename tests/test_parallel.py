@@ -1,0 +1,158 @@
+"""Tests for the parallel experiment runner and its invariance contract.
+
+The contract: running experiments through ``--jobs N`` must produce
+report text and simulated-cost counters bit-identical to the serial path,
+because every grid point is an isolated, per-point-seeded simulation and
+the parallel runner only *warms caches* — assembly stays serial.
+"""
+
+import concurrent.futures
+import dataclasses
+
+import pytest
+
+from repro.experiments import parallel, random_ops, registry
+from repro.experiments.common import (
+    BUILD_CHUNK_BYTES,
+    build_object,
+    make_store,
+    resolve_scale,
+)
+from repro.experiments.grid import GridPoint, full_grid, grid_for
+from repro.experiments.registry import run
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadRunner
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    parallel.clear_caches()
+    yield
+    parallel.clear_caches()
+
+
+class TestGrid:
+    def test_every_experiment_has_a_grid(self):
+        assert set(registry.GRIDS) == set(registry.EXPERIMENTS)
+
+    def test_table1_grid_is_empty(self):
+        assert grid_for("table1") == []
+
+    def test_fig5_grid_covers_the_sweep(self):
+        scale = resolve_scale("tiny")
+        points = grid_for("fig5", scale)
+        # 4 ESM leaf sizes + Starburst, each across every append size.
+        assert len(points) == 5 * len(scale.append_sizes_kb)
+        assert all(p.kind == "build" for p in points)
+
+    def test_shared_random_runs_deduplicate(self):
+        # Figures 7-12 consume the same 24 random-update runs.
+        merged = full_grid(["fig7-8", "fig9-10", "fig11-12"])
+        assert len(merged) == len(grid_for("fig7-8"))
+
+    def test_full_grid_preserves_first_seen_order(self):
+        merged = full_grid(["fig5", "fig6"])
+        assert merged[: len(grid_for("fig5"))] == grid_for("fig5")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            grid_for("fig99")
+
+    def test_points_are_hashable_and_picklable(self):
+        import pickle
+
+        point = grid_for("fig9-10")[0]
+        assert pickle.loads(pickle.dumps(point)) == point
+        assert hash(point) == hash(pickle.loads(pickle.dumps(point)))
+
+
+class TestRunGrid:
+    def test_serial_and_parallel_results_are_equal(self):
+        points = grid_for("tables23")  # 3 Starburst random-update runs
+        serial = parallel.run_grid(points, jobs=1)
+        fanned = parallel.run_grid(points, jobs=2)
+        assert serial == fanned
+
+    def test_results_line_up_with_point_order(self):
+        points = grid_for("fig5")[:4]
+        results = parallel.run_grid(points, jobs=2)
+        for point, result in zip(points, results):
+            assert result == parallel.compute_point(point)
+
+    def test_unknown_kind_rejected(self):
+        bogus = GridPoint(kind="nonsense", scheme="esm", scale_name="tiny")
+        with pytest.raises(ValueError):
+            parallel.compute_point(bogus)
+
+
+class TestReportInvariance:
+    @pytest.mark.parametrize("name", ["fig5", "fig6", "fig9-10"])
+    def test_jobs2_report_text_is_bit_identical(self, name):
+        serial_text = run(name)
+        parallel.clear_caches()
+        parallel.precompute([name], jobs=2)
+        assert run(name) == serial_text
+
+    def test_precompute_counts_distinct_points(self):
+        n = parallel.precompute(["fig7-8", "fig9-10"], jobs=2)
+        assert n == len(grid_for("fig7-8"))
+
+
+def _random_run_io_counters(point: GridPoint) -> dict:
+    """Replay one random-update point and return its raw IOStats counters.
+
+    Module-level so it pickles into worker processes.
+    """
+    scale = resolve_scale(point.scale_name)
+    key = random_ops.make_run_key(
+        point.scheme, point.setting, point.mean_op, scale
+    )
+    store = make_store(
+        key.scheme,
+        leaf_pages=key.setting,
+        threshold_pages=key.setting,
+        config=point.config,
+        shadowing=key.shadowing,
+    )
+    oid = build_object(store, key.object_bytes, BUILD_CHUNK_BYTES)
+    generator = WorkloadGenerator(
+        object_size=store.size(oid),
+        mean_op_size=key.mean_op,
+        seed=random_ops.WORKLOAD_SEED,
+    )
+    WorkloadRunner(store.manager, oid, generator).run(
+        key.n_ops, window=key.window
+    )
+    return dataclasses.asdict(store.stats)
+
+
+class TestCounterInvariance:
+    def test_worker_process_counters_match_in_process(self):
+        """CostModel read/write/seek counters are process-independent."""
+        point = GridPoint(
+            kind="random-ops",
+            scheme="eos",
+            scale_name="tiny",
+            setting=4,
+            mean_op=10 * 1024,
+        )
+        in_process = _random_run_io_counters(point)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            from_worker = pool.submit(_random_run_io_counters, point).result()
+        assert in_process == from_worker
+        # Seeks are charged per physical call; identical call counts mean
+        # identical seek totals.
+        assert in_process["read_calls"] == from_worker["read_calls"]
+        assert in_process["write_calls"] == from_worker["write_calls"]
+
+
+class TestCLIJobs:
+    def test_jobs_flag_output_matches_serial(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig5"]) == 0
+        serial_out = capsys.readouterr().out
+        parallel.clear_caches()
+        assert main(["--jobs", "2", "fig5"]) == 0
+        assert capsys.readouterr().out == serial_out
