@@ -21,6 +21,7 @@ from repro.core.env import StorageEnvironment
 from repro.core.database import Database, DuplicateNameError
 from repro.core.file import LargeObjectFile
 from repro.core.fsck import FsckReport, check as fsck
+from repro.core.payload import Payload, SizedPayload, zeros
 from repro.core.tuning import (
     Goal,
     recommend_eos_threshold_pages,
@@ -54,10 +55,12 @@ __all__ = [
     "LargeObjectFile",
     "LargeObjectStore",
     "PAPER_CONFIG",
+    "Payload",
     "RecordId",
     "RecordStore",
     "SCHEMES",
     "Schema",
+    "SizedPayload",
     "StarburstManager",
     "StarburstOptions",
     "StorageEnvironment",
@@ -69,5 +72,6 @@ __all__ = [
     "recommend_esm_leaf_pages",
     "replay",
     "small_page_config",
+    "zeros",
     "__version__",
 ]

@@ -3,9 +3,11 @@
 Usage::
 
     repro-bench                          # tiny scale, next BENCH_<n>.json
-    repro-bench --scale small --repeat 3
+    repro-bench --scale paper --repeat 3
     repro-bench --out BENCH_2.json       # explicit output file
     repro-bench --check BENCH_2.json     # fail (>3x) against a baseline
+    repro-bench --compare A.json B.json  # per-point deltas, no run
+    repro-bench --profile                # cProfile summary per point
 
 The output number ``<n>`` defaults to one past the highest existing
 ``BENCH_*.json`` in the output directory (starting at 2, where the
@@ -15,23 +17,30 @@ trajectory began).
 from __future__ import annotations
 
 import argparse
+import cProfile
 import glob
+import io
 import json
 import os
 import platform
+import pstats
 import re
 import sys
 
 from repro.bench.harness import (
     REGRESSION_FACTOR,
+    STANDARD_GRID,
+    _MEASURES,
     BenchPoint,
     compare_points,
     run_bench,
 )
 from repro.experiments.common import resolve_scale
 
-#: Schema version of the emitted JSON.
-FORMAT_VERSION = 1
+#: Schema version of the emitted JSON.  Version 2 qualifies every point
+#: name with its scale ("tiny/build/esm") so one document can hold the
+#: grid at several scales; version-1 documents used bare names.
+FORMAT_VERSION = 2
 
 #: The perf trajectory starts at PR 2 (when the harness was introduced).
 FIRST_BENCH_NUMBER = 2
@@ -47,14 +56,24 @@ def next_bench_number(directory: str) -> int:
     return max(numbers) + 1 if numbers else FIRST_BENCH_NUMBER
 
 
-def payload(points: list[BenchPoint], scale_name: str, number: int) -> dict:
-    """The JSON document for one bench run."""
+def payload(
+    points_by_scale: list[tuple[str, list[BenchPoint]]], number: int
+) -> dict:
+    """The JSON document for one bench run, possibly spanning scales.
+
+    Point names are scale-qualified (``tiny/build/esm``) so the same
+    grid can appear at several scales in one trajectory file.
+    """
     return {
         "version": FORMAT_VERSION,
         "bench": number,
-        "scale": scale_name,
+        "scale": "+".join(name for name, _ in points_by_scale),
         "python": platform.python_version(),
-        "points": [point.to_dict() for point in points],
+        "points": [
+            {**point.to_dict(), "name": f"{scale_name}/{point.name}"}
+            for scale_name, points in points_by_scale
+            for point in points
+        ],
     }
 
 
@@ -71,6 +90,75 @@ def _format_points(points: list[BenchPoint]) -> str:
     return "\n".join(lines)
 
 
+def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> str:
+    """Per-point wall/sim delta table between two bench documents.
+
+    Points present on only one side are listed with ``-`` placeholders.
+    A simulated-time difference is called out explicitly: wall-clock may
+    drift with the host, but ``sim_s`` moving means behaviour changed.
+    """
+    by_name_a = {str(p["name"]): p for p in doc_a["points"]}
+    by_name_b = {str(p["name"]): p for p in doc_b["points"]}
+    names = list(by_name_a)
+    names.extend(n for n in by_name_b if n not in by_name_a)
+    lines = [
+        f"comparing A={label_a} (scale {doc_a.get('scale')}) vs "
+        f"B={label_b} (scale {doc_b.get('scale')})",
+        f"{'point':<20} {'wall A':>9} {'wall B':>9} {'speedup':>8} "
+        f"{'sim A':>10} {'sim B':>10}",
+    ]
+    for name in names:
+        a, b = by_name_a.get(name), by_name_b.get(name)
+        if a is None or b is None:
+            side = "B" if a is None else "A"
+            lines.append(f"{name:<20} {'only in ' + side}")
+            continue
+        wall_a, wall_b = float(a["wall_s"]), float(b["wall_s"])
+        sim_a, sim_b = float(a["sim_s"]), float(b["sim_s"])
+        speedup = f"{wall_a / wall_b:>7.2f}x" if wall_b > 0 else "     inf"
+        note = "" if sim_a == sim_b else "  sim CHANGED"
+        lines.append(
+            f"{name:<20} {wall_a:>9.4f} {wall_b:>9.4f} {speedup:>8} "
+            f"{sim_a:>10.2f} {sim_b:>10.2f}{note}"
+        )
+    return "\n".join(lines)
+
+
+#: Functions shown per point by ``--profile``.
+PROFILE_TOP = 12
+
+
+def profile_grid(scale, top: int = PROFILE_TOP) -> list[BenchPoint]:
+    """Run every grid point once under cProfile, printing a summary each.
+
+    Wall-clock numbers are distorted by profiler overhead, so the
+    resulting points are for inspection only and are never written to a
+    ``BENCH_*.json``.
+    """
+    points: list[BenchPoint] = []
+    for kind, scheme in STANDARD_GRID:
+        measure = _MEASURES[kind]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        point = measure(scheme, scale)
+        profiler.disable()
+        points.append(point)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        print(f"--- profile: {point.name} "
+              f"(wall {point.wall_s:.4f}s under profiler) ---")
+        # Drop the pstats preamble; keep the ranked function table.
+        emit = False
+        for line in buffer.getvalue().splitlines():
+            if line.lstrip().startswith("ncalls"):
+                emit = True
+            if emit and line.strip():
+                print(line)
+        print()
+    return points
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -82,9 +170,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("tiny", "small"),
+        choices=("tiny", "small", "paper", "xl"),
         default="tiny",
         help="workload scale to time (default: tiny)",
+    )
+    parser.add_argument(
+        "--also",
+        action="append",
+        default=[],
+        choices=("tiny", "small", "paper", "xl"),
+        metavar="SCALE",
+        help="time the grid at an additional scale too (repeatable)",
+    )
+    parser.add_argument(
+        "--point",
+        action="append",
+        default=[],
+        metavar="KIND/SCHEME",
+        help=(
+            "restrict the grid to the named point, e.g. build/esm "
+            "(repeatable; default: the full grid)"
+        ),
     )
     parser.add_argument(
         "--repeat",
@@ -112,10 +218,51 @@ def main(argv: list[str] | None = None) -> int:
             f"if any point regresses more than {REGRESSION_FACTOR:g}x"
         ),
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("A.json", "B.json"),
+        help=(
+            "print per-point wall/sim deltas between two BENCH_*.json "
+            "files and exit (no benchmark is run)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each point once under cProfile and print the hottest "
+            f"{PROFILE_TOP} functions per point (no JSON is written; "
+            "wall times are distorted by profiler overhead)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.compare:
+        path_a, path_b = args.compare
+        with open(path_a, encoding="utf-8") as handle:
+            doc_a = json.load(handle)
+        with open(path_b, encoding="utf-8") as handle:
+            doc_b = json.load(handle)
+        print(compare_documents(doc_a, doc_b, path_a, path_b))
+        return 0
+
     scale = resolve_scale(args.scale)
-    points = run_bench(scale, repeat=args.repeat)
-    print(_format_points(points))
+    if args.profile:
+        points = profile_grid(scale)
+        print(_format_points(points))
+        return 0
+
+    only = set(args.point) or None
+    scale_names = [args.scale] + [s for s in args.also if s != args.scale]
+    points_by_scale: list[tuple[str, list[BenchPoint]]] = []
+    for scale_name in scale_names:
+        points = run_bench(
+            resolve_scale(scale_name), repeat=args.repeat, only=only
+        )
+        print(f"scale: {scale_name}")
+        print(_format_points(points))
+        points_by_scale.append((scale_name, points))
 
     if args.out:
         out_path = args.out
@@ -126,7 +273,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         number = next_bench_number(args.out_dir)
         out_path = os.path.join(args.out_dir, f"BENCH_{number}.json")
-    document = payload(points, scale.name, number)
+    document = payload(points_by_scale, number)
     parent = os.path.dirname(out_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -138,10 +285,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         with open(args.check, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        if baseline.get("scale") != scale.name:
+        if baseline.get("version", 1) < FORMAT_VERSION:
             print(
-                f"warning: baseline scale {baseline.get('scale')!r} differs "
-                f"from current {scale.name!r}; comparing anyway",
+                f"warning: baseline {args.check} uses format "
+                f"{baseline.get('version', 1)} (unqualified point names); "
+                "no names will match",
                 file=sys.stderr,
             )
         failures = compare_points(document["points"], baseline["points"])

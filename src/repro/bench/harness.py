@@ -150,12 +150,17 @@ _MEASURES = {
 }
 
 
-def run_bench(scale: Scale, repeat: int = 1) -> list[BenchPoint]:
+def run_bench(
+    scale: Scale, repeat: int = 1, only: "set[str] | None" = None
+) -> list[BenchPoint]:
     """Time the standard grid; with ``repeat > 1`` keep each point's
     fastest run (wall-clock noise shrinks, simulated fields are identical
-    across repeats by construction)."""
+    across repeats by construction).  ``only`` restricts the grid to the
+    named ``kind/scheme`` points (for cheap CI smokes at big scales)."""
     points: list[BenchPoint] = []
     for kind, scheme in STANDARD_GRID:
+        if only is not None and f"{kind}/{scheme}" not in only:
+            continue
         measure = _MEASURES[kind]
         best: BenchPoint | None = None
         for _ in range(max(1, repeat)):

@@ -31,6 +31,12 @@ from repro.buddy.area import DATA_AREA_BASE
 from repro.core.env import StorageEnvironment
 from repro.core.errors import StorageCorruptionError
 from repro.core.manager import LargeObjectManager
+from repro.core.payload import (
+    Payload,
+    payload_bytes,
+    payload_concat,
+    payload_view,
+)
 
 _DIR_HEADER = struct.Struct("<4sHHI")  # magic, n_slots, pad, next+1
 _SLOT = struct.Struct("<IH2x")  # page pointer (data-area relative), used
@@ -83,7 +89,7 @@ class BlockBasedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def create(self, data: bytes = b"") -> int:
+    def create(self, data: Payload = b"") -> int:
         """Create an object as a chain of single data pages plus directory."""
         oid = self.env.areas.meta.allocate(1)
         self._objects[oid] = []
@@ -111,7 +117,7 @@ class BlockBasedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+    def read(self, oid: int, offset: int, nbytes: int) -> Payload:
         """Read a byte range one page per I/O call — the class's defining one-
         seek-per-page cost.
         """
@@ -120,7 +126,7 @@ class BlockBasedManager(LargeObjectManager):
         if nbytes == 0:
             return b""
         self._charge_directory_walk(oid, offset, nbytes)
-        chunks = []
+        chunks: list[Payload] = []
         position = 0
         remaining = nbytes
         for page in pages:
@@ -135,12 +141,12 @@ class BlockBasedManager(LargeObjectManager):
             position = end
             if remaining <= 0:
                 break
-        return b"".join(chunks)
+        return payload_concat(chunks)
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes, filling the last page before allocating new single-
         block pages.
         """
@@ -148,25 +154,28 @@ class BlockBasedManager(LargeObjectManager):
         if not data:
             return
         page_size = self.config.page_size
-        view = memoryview(bytes(data))
+        view = payload_view(data)
         if pages and pages[-1].used_bytes < page_size:
             last = pages[-1]
             take = min(page_size - last.used_bytes, len(view))
             old = self.env.segio.read_pages(last.page_id, 1)
             self.env.segio.write_pages(
-                last.page_id, old[: last.used_bytes] + bytes(view[:take])
+                last.page_id,
+                payload_concat(
+                    [old[: last.used_bytes], payload_bytes(view[:take])]
+                ),
             )
             last.used_bytes += take
             view = view[take:]
         while view:
             take = min(page_size, len(view))
             page_id = self.env.areas.data.allocate(1)
-            self.env.segio.write_pages(page_id, bytes(view[:take]))
+            self.env.segio.write_pages(page_id, payload_bytes(view[:take]))
             pages.append(DataPage(page_id=page_id, used_bytes=take))
             view = view[take:]
         self._sync_directory(oid)
 
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes by splitting the affected page (no neighbour
         rebalancing, so utilization degrades).
         """
@@ -181,10 +190,8 @@ class BlockBasedManager(LargeObjectManager):
         index, within = self._locate(pages, offset)
         page = pages[index]
         content = self.env.segio.read_pages(page.page_id, 1)
-        spliced = (
-            content[:within]
-            + bytes(data)
-            + content[within : page.used_bytes]
+        spliced = payload_concat(
+            [content[:within], data, content[within : page.used_bytes]]
         )
         fits = len(spliced) <= self.config.page_size
         if fits and not self.env.shadow.overwrite_needs_new_segment():
@@ -217,10 +224,10 @@ class BlockBasedManager(LargeObjectManager):
                 self.env.areas.data.free(page.page_id, 1)
             else:
                 content = self.env.segio.read_pages(page.page_id, 1)
-                kept = (
-                    content[: cut_lo - position]
-                    + content[cut_hi - position : page.used_bytes]
-                )
+                kept = payload_concat([
+                    content[: cut_lo - position],
+                    content[cut_hi - position : page.used_bytes],
+                ])
                 if kept or not self.options.free_empty_pages:
                     new_page = self._rewrite_page(page, kept)
                     survivors.append(new_page)
@@ -230,7 +237,7 @@ class BlockBasedManager(LargeObjectManager):
         self._objects[oid] = survivors
         self._sync_directory(oid)
 
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite bytes page by page, shadowing each affected page."""
         pages = self._pages(oid)
         self._check_range(oid, offset, len(data))
@@ -245,11 +252,11 @@ class BlockBasedManager(LargeObjectManager):
                 within = max(offset - position, 0)
                 take = min(page.used_bytes - within, len(data) - cursor)
                 content = self.env.segio.read_pages(page.page_id, 1)
-                patched = (
-                    content[:within]
-                    + data[cursor : cursor + take]
-                    + content[within + take : page.used_bytes]
-                )
+                patched = payload_concat([
+                    content[:within],
+                    data[cursor : cursor + take],
+                    content[within + take : page.used_bytes],
+                ])
                 pages[index] = self._rewrite_page(page, patched)
                 cursor += take
             position = end
@@ -298,7 +305,7 @@ class BlockBasedManager(LargeObjectManager):
             position += page.used_bytes
         return len(pages) - 1, pages[-1].used_bytes if pages else 0
 
-    def _write_chain(self, data: bytes) -> list[DataPage]:
+    def _write_chain(self, data: Payload) -> list[DataPage]:
         """Write bytes into freshly allocated single pages (no batching)."""
         page_size = self.config.page_size
         result = []
@@ -309,7 +316,7 @@ class BlockBasedManager(LargeObjectManager):
             result.append(DataPage(page_id=page_id, used_bytes=len(chunk)))
         return result
 
-    def _rewrite_page(self, page: DataPage, content: bytes) -> DataPage:
+    def _rewrite_page(self, page: DataPage, content: Payload) -> DataPage:
         """Rewrite one page under the shadowing policy."""
         if self.env.shadow.overwrite_needs_new_segment():
             page_id = self.env.areas.data.allocate(1)

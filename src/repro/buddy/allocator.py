@@ -152,16 +152,25 @@ class BuddyAllocator:
     def _try_allocate_in_space(
         self, index: int, n_pages: int, needed_order: int
     ) -> int | None:
-        """Visit a space's directory and try to allocate there."""
+        """Visit a space's directory and try to allocate there.
+
+        Inlined :meth:`_visit_directory` for the hot allocation path: the
+        directory state changed exactly when the allocation succeeded, so
+        no before/after comparison or mutation closure is needed.  The
+        pool access sequence (fix, provider on change, unfix) is identical.
+        """
         space = self._spaces[index]
-        result: list[int] = []
-
-        def mutate() -> None:
-            if space.max_free_order() >= needed_order:
-                result.append(space.allocate(n_pages))
-
-        self._visit_directory(index, mutate=mutate)
-        return result[0] if result else None
+        page_id = self._directory_page(index)
+        self.pool.fix(page_id)
+        offset: int | None = None
+        if space.max_free_order() >= needed_order:
+            offset = space.allocate(n_pages)
+        self._superdirectory[index] = space.max_free_order()
+        changed = offset is not None
+        if changed:
+            self.pool.set_provider(page_id, lambda: serialize_directory(space))
+        self.pool.unfix(page_id, dirty=changed)
+        return offset
 
     def _visit_directory(
         self, space_index: int, mutate: Callable[[], None]

@@ -5,8 +5,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from repro.core.payload import Payload
 
-@dataclasses.dataclass
+
+@dataclasses.dataclass(slots=True)
 class Frame:
     """A single buffer-pool frame holding one disk page.
 
@@ -15,7 +17,9 @@ class Frame:
     page_id:
         The disk page currently cached in this frame.
     data:
-        Page content.  May be ``None`` for pages cached in phantom mode.
+        Page content — real ``bytes`` or a length-only
+        :class:`~repro.core.payload.SizedPayload` for phantom pages.
+        May be ``None`` for pages cached with no content at all.
     dirty:
         True if the cached content is newer than the on-disk copy.
     pin_count:
@@ -32,14 +36,14 @@ class Frame:
     """
 
     page_id: int
-    data: bytes | None = None
+    data: Payload | None = None
     dirty: bool = False
     pin_count: int = 0
     record: bool = True
     provider: Callable[[], bytes] | None = None
     lru_tick: int = 0
 
-    def content(self) -> bytes:
+    def content(self) -> Payload:
         """Current content, preferring the lazy provider when set."""
         if self.provider is not None:
             return self.provider()

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.buffer.frame import Frame
 from repro.core.config import SystemConfig
 from repro.core.errors import BufferPoolError
+from repro.core.payload import Payload, payload_concat
 from repro.disk.disk import SimulatedDisk
 from repro.lint.contracts import pure_read
 
@@ -85,7 +86,7 @@ class BufferPool:
         self._touch(frame)
         return frame
 
-    def fix_new(self, page_id: int, data: bytes | None = None,
+    def fix_new(self, page_id: int, data: Payload | None = None,
                 record: bool = True) -> Frame:
         """Pin a freshly allocated page without reading it from disk.
 
@@ -155,34 +156,62 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Multi-page runs
     # ------------------------------------------------------------------
-    def read_run(self, start: int, n_pages: int, record: bool = True) -> bytes:
+    def read_run(self, start: int, n_pages: int, record: bool = True) -> Payload:
         """Bring pages ``start .. start+n_pages-1`` into the pool, unpinned.
 
         Pages already resident are reused (and counted as hits); each
         maximal missing sub-run is read with a single physical I/O.
-        Returns the concatenated content of the whole run.  The caller must
-        have checked :meth:`can_accommodate` for the missing pages.
+        Returns the concatenated content of the whole run — a length-only
+        :class:`~repro.core.payload.SizedPayload` when every page is
+        phantom, so phantom runs cost no byte work.  The caller must have
+        checked :meth:`can_accommodate` for the missing pages.
         """
         pages = range(start, start + n_pages)
-        # Pin resident pages first so eviction for the missing sub-runs
-        # cannot push out pages belonging to this same request.
         frames = self._frames
+        page_size = self.config.page_size
+        stats = self.stats
+        resident = [frames.get(page) for page in pages]
+        n_missing = resident.count(None)
+        if n_missing == 0:
+            # Every page resident: no eviction can happen, so the
+            # pin-read-unpin dance is a no-op — just count the hits and
+            # touch each frame in request order.
+            stats.hits += n_pages
+            chunks = []
+            for frame in resident:
+                self._touch(frame)
+                chunks.append(_page_image(frame.content(), page_size))
+            return payload_concat(chunks)
+        if n_missing == n_pages:
+            # Nothing resident: one physical read of the whole run; the
+            # frames go in unpinned (pinning exists only to protect this
+            # request's pages from its own evictions, and evictions finish
+            # before the frames are created).
+            stats.misses += n_pages
+            self._make_room(n_pages)
+            # Per-page views straight off the disk: no whole-run buffer is
+            # materialized and no per-page slice copies are made.
+            views = self.disk.read_page_views(start, n_pages)
+            for i, data in enumerate(views):
+                frame = Frame(page_id=start + i, data=data, record=record)
+                frames[start + i] = frame
+                self._touch(frame)
+            return payload_concat(views)
+        # Mixed hits and misses: pin resident pages first so eviction for
+        # the missing sub-runs cannot push out pages belonging to this
+        # same request.
         missing = []
-        for page in pages:
-            frame = frames.get(page)
+        for page, frame in zip(pages, resident):
             if frame is None:
                 missing.append(page)
             else:
                 frame.pin_count += 1
                 if frame.pin_count == 1:
                     self._pinned += 1
-        self.stats.hits += n_pages - len(missing)
-        self.stats.misses += len(missing)
-        page_size = self.config.page_size
+        stats.hits += n_pages - len(missing)
+        stats.misses += len(missing)
         for run_start, run_len in _contiguous_runs(missing):
             self._make_room(run_len)
-            # Per-page views straight off the disk: no whole-run buffer is
-            # materialized and no per-page slice copies are made.
             views = self.disk.read_page_views(run_start, run_len)
             for i, data in enumerate(views):
                 frame = Frame(
@@ -201,12 +230,12 @@ class BufferPool:
                 self._pinned -= 1
             self._touch(frame)
             chunks.append(_page_image(frame.content(), page_size))
-        return b"".join(chunks)
+        return payload_concat(chunks)
 
     # ------------------------------------------------------------------
     # Writeback and invalidation
     # ------------------------------------------------------------------
-    def write_run(self, start: int, n_pages: int, data: bytes,
+    def write_run(self, start: int, n_pages: int, data: Payload,
                   record: bool = True) -> None:
         """Write a run of adjacent pages in one I/O, refreshing the cache.
 
@@ -228,7 +257,7 @@ class BufferPool:
                 )
                 self.update_if_resident(page_id, page)
 
-    def update_if_resident(self, page_id: int, data: bytes,
+    def update_if_resident(self, page_id: int, data: Payload,
                            dirty: bool = False) -> None:
         """Refresh the cached copy of a page after it was written to disk."""
         frame = self._frames.get(page_id)
@@ -266,13 +295,13 @@ class BufferPool:
             page_id for page_id, f in self._frames.items() if f.dirty
         )
         for run_start, run_len in _contiguous_runs(dirty_ids):
-            data = b"".join(
+            data = payload_concat([
                 _page_image(
                     self._frames[run_start + i].content(),
                     self.config.page_size,
                 )
                 for i in range(run_len)
-            )
+            ])
             record = all(
                 self._frames[run_start + i].record for i in range(run_len)
             )
@@ -329,7 +358,7 @@ class BufferPool:
         self.stats.dirty_writebacks += 1
 
 
-def _page_image(content: bytes, page_size: int) -> bytes:
+def _page_image(content: Payload, page_size: int) -> Payload:
     """Pad content to a full page image; full pages pass through unchanged."""
     if len(content) == page_size:
         return content

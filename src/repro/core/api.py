@@ -22,6 +22,7 @@ from repro.blockbased.manager import BlockBasedManager
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.env import StorageEnvironment
 from repro.core.manager import LargeObjectManager
+from repro.core.payload import Payload
 from repro.disk.iomodel import IOStats
 from repro.eos.manager import EOSManager, EOSOptions
 from repro.esm.manager import ESMManager, ESMOptions
@@ -121,7 +122,7 @@ class LargeObjectStore:
     # ------------------------------------------------------------------
     # Object operations (delegated to the manager)
     # ------------------------------------------------------------------
-    def create(self, data: bytes = b"") -> int:
+    def create(self, data: Payload = b"") -> int:
         """Create a large object; returns its object id."""
         return self.manager.create(data)
 
@@ -133,15 +134,22 @@ class LargeObjectStore:
         """Object size in bytes."""
         return self.manager.size(oid)
 
-    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
-        """Read a byte range."""
+    def read(self, oid: int, offset: int, nbytes: int) -> Payload:
+        """Read a byte range.
+
+        Recorded stores return ``bytes``; with ``record_data=False`` the
+        phantom leaf area returns a length-only all-zero
+        :class:`~repro.core.payload.SizedPayload` instead (compare-equal
+        to the zero bytes it stands for; ``bytes(result)``
+        materializes).
+        """
         return self.manager.read(oid, offset, nbytes)
 
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes at the end."""
         self.manager.append(oid, data)
 
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes at an arbitrary position."""
         self.manager.insert(oid, offset, data)
 
@@ -149,7 +157,7 @@ class LargeObjectStore:
         """Delete bytes at an arbitrary position."""
         self.manager.delete(oid, offset, nbytes)
 
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite a byte range in place (size unchanged)."""
         self.manager.replace(oid, offset, data)
 

@@ -14,6 +14,7 @@ import os
 
 from repro.core.errors import ByteRangeError, InvalidArgumentError
 from repro.core.manager import LargeObjectManager
+from repro.core.payload import Payload, SizedPayload
 
 
 class LargeObjectFile(io.RawIOBase):
@@ -60,7 +61,7 @@ class LargeObjectFile(io.RawIOBase):
         self._position = target
         return self._position
 
-    def read(self, size: int = -1) -> bytes:
+    def read(self, size: int = -1) -> Payload:
         self._check_open()
         end = self.size()
         if self._position >= end:
@@ -74,18 +75,21 @@ class LargeObjectFile(io.RawIOBase):
 
     def readinto(self, buffer: bytearray | memoryview) -> int:
         data = self.read(len(buffer))
-        buffer[: len(data)] = data
+        buffer[: len(data)] = bytes(data)
         return len(data)
 
-    def write(self, data: bytes | bytearray | memoryview) -> int:
+    def write(self, data: "bytes | bytearray | memoryview | SizedPayload") -> int:
         self._check_open()
-        data = bytes(data)
+        if not isinstance(data, SizedPayload):
+            data = bytes(data)
         if not data:
             return 0
         end = self.size()
         if self._position > end:
             # Sparse writes zero-fill the gap, like POSIX files.
-            self._manager.append(self._oid, bytes(self._position - end))
+            self._manager.append(
+                self._oid, SizedPayload(self._position - end)
+            )
             end = self._position
         overlap = min(len(data), end - self._position)
         if overlap:
@@ -104,7 +108,7 @@ class LargeObjectFile(io.RawIOBase):
         if target < current:
             self._manager.delete(self._oid, target, current - target)
         elif target > current:
-            self._manager.append(self._oid, bytes(target - current))
+            self._manager.append(self._oid, SizedPayload(target - current))
         return target
 
     # ------------------------------------------------------------------
@@ -114,7 +118,7 @@ class LargeObjectFile(io.RawIOBase):
         """Current object size in bytes."""
         return self._manager.size(self._oid)
 
-    def insert_at(self, offset: int, data: bytes) -> None:
+    def insert_at(self, offset: int, data: Payload) -> None:
         """Insert bytes, shifting the remainder right (Section 1)."""
         self._check_open()
         self._manager.insert(self._oid, offset, data)

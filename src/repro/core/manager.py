@@ -13,6 +13,7 @@ import abc
 
 from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, ObjectNotFoundError
+from repro.core.payload import Payload
 
 
 class LargeObjectManager(abc.ABC):
@@ -29,10 +30,15 @@ class LargeObjectManager(abc.ABC):
     # Object lifecycle
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def create(self, data: bytes = b"") -> int:
+    def create(self, data: Payload = b"") -> int:
         """Create a new large object, optionally with initial content.
 
-        Returns the object id.
+        ``data`` (here and in every byte-range operation) may be real
+        ``bytes`` or a length-only
+        :class:`~repro.core.payload.SizedPayload`; the latter carries
+        only a size through the write path, which is how phantom-mode
+        experiments avoid materializing object content.  Returns the
+        object id.
         """
 
     @abc.abstractmethod
@@ -47,15 +53,19 @@ class LargeObjectManager(abc.ABC):
     # Byte-range operations
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
-        """Read ``nbytes`` bytes starting at ``offset``."""
+    def read(self, oid: int, offset: int, nbytes: int) -> Payload:
+        """Read ``nbytes`` bytes starting at ``offset``.
+
+        Recorded data comes back as ``bytes``; phantom leaf data as a
+        length-only all-zero :class:`~repro.core.payload.SizedPayload`.
+        """
 
     @abc.abstractmethod
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes at the end of the object."""
 
     @abc.abstractmethod
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes at ``offset``, shifting the remainder right."""
 
     @abc.abstractmethod
@@ -63,7 +73,7 @@ class LargeObjectManager(abc.ABC):
         """Delete ``nbytes`` bytes at ``offset``, shifting the remainder left."""
 
     @abc.abstractmethod
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite ``len(data)`` bytes at ``offset`` (size unchanged)."""
 
     # ------------------------------------------------------------------

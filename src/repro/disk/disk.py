@@ -21,11 +21,16 @@ from __future__ import annotations
 
 from repro.core.config import SystemConfig
 from repro.core.errors import AllocationError
+from repro.core.payload import Payload, SizedPayload
 from repro.disk.iomodel import CostModel
 from repro.lint.contracts import pure_read
 
 #: Marker stored for pages written in phantom (count-only) mode.
 _PHANTOM = None
+
+#: Distinguishes "never written" from "written in phantom mode" in a
+#: single dict lookup (``_pages`` stores ``None`` for phantom pages).
+_ABSENT: "object" = object()
 
 
 class SimulatedDisk:
@@ -41,46 +46,83 @@ class SimulatedDisk:
         #: Lazily grown zero buffer backing whole-run phantom reads; runs
         #: are served as zero-copy slices of one shared allocation.
         self._zero_buffer = self._zero_page
+        #: Shared length-only page handed out for phantom pages by
+        #: :meth:`read_page_views`; immutable, so aliasing is safe.
+        self._zero_payload = SizedPayload(config.page_size)
 
     # ------------------------------------------------------------------
     # Accounted physical I/O
     # ------------------------------------------------------------------
-    def read_pages(self, start: int, n_pages: int) -> bytes:
+    def read_pages(self, start: int, n_pages: int) -> Payload:
         """Read ``n_pages`` physically adjacent pages in one I/O call.
 
         Returns the concatenated page contents.  Pages that were written in
-        phantom mode (or never written) read back as zeros.
-        """
-        self._check_range(start, n_pages)
-        self.cost.charge_read(n_pages)
-        return self.peek_pages(start, n_pages)
-
-    def read_page_views(self, start: int, n_pages: int) -> list[bytes]:
-        """Read a run in one I/O call, returned as one object per page.
-
-        The zero-copy twin of :meth:`read_pages` for callers that want the
-        run page by page (the buffer pool): recorded pages are returned as
-        the exact stored page image and unwritten/phantom pages as the
-        shared zero page, so no slicing or zero-buffer materialization
-        happens at all.  Charges the same cost as :meth:`read_pages`.
+        phantom mode (or never written) read back as zeros.  A run that is
+        *entirely* phantom is returned as a :class:`SizedPayload` — a
+        length-only view of the zeros that costs no byte work at all —
+        which is the normal case for the leaf area of experiment stores.
         """
         self._check_range(start, n_pages)
         self.cost.charge_read(n_pages)
         pages = self._pages
+        get = pages.get
+        any_content = False
+        all_phantom = True
+        for i in range(n_pages):
+            content = get(start + i, _ABSENT)
+            if content is None:
+                continue
+            if content is _ABSENT:
+                all_phantom = False
+            else:
+                any_content = True
+        if not any_content:
+            if all_phantom:
+                return SizedPayload(n_pages * self.config.page_size)
+            return self._zero_run(n_pages)
         zero = self._zero_page
-        return [
-            content if (content := pages.get(start + i)) is not None else zero
+        return b"".join(
+            content if (content := get(start + i)) is not None else zero
             for i in range(n_pages)
-        ]
+        )
+
+    def read_page_views(self, start: int, n_pages: int) -> list[Payload]:
+        """Read a run in one I/O call, returned as one object per page.
+
+        The zero-copy twin of :meth:`read_pages` for callers that want the
+        run page by page (the buffer pool): recorded pages are returned as
+        the exact stored page image, phantom pages as one shared
+        length-only :class:`SizedPayload` page, and never-written pages as
+        the shared zero page, so no slicing or zero-buffer materialization
+        happens at all.  Charges the same cost as :meth:`read_pages`.
+        """
+        self._check_range(start, n_pages)
+        self.cost.charge_read(n_pages)
+        get = self._pages.get
+        zero = self._zero_page
+        zero_payload = self._zero_payload
+        views: list[Payload] = []
+        for i in range(n_pages):
+            content = get(start + i, _ABSENT)
+            if content is None:
+                views.append(zero_payload)
+            elif content is _ABSENT:
+                views.append(zero)
+            else:
+                views.append(content)
+        return views
 
     def write_pages(
-        self, start: int, n_pages: int, data: bytes, record: bool = True
+        self, start: int, n_pages: int, data: Payload, record: bool = True
     ) -> None:
         """Write ``n_pages`` physically adjacent pages in one I/O call.
 
         ``data`` may be shorter than ``n_pages`` pages; the tail of the last
         page is zero-filled.  With ``record=False`` the content is discarded
-        and only the cost is charged (phantom mode).
+        and only the cost is charged (phantom mode).  A
+        :class:`SizedPayload` is all zeros by definition, so recording it
+        stores the shared zero page for every page of the run — the stored
+        images are bit-identical to writing materialized zeros.
         """
         self._check_range(start, n_pages)
         page_size = self.config.page_size
@@ -90,7 +132,14 @@ class SimulatedDisk:
                 f"{page_size} bytes each"
             )
         self.cost.charge_write(n_pages)
-        if record:
+        if not record:
+            for i in range(n_pages):
+                self._pages[start + i] = _PHANTOM
+        elif isinstance(data, SizedPayload):
+            zero = self._zero_page
+            for i in range(n_pages):
+                self._pages[start + i] = zero
+        else:
             # Store per-page images straight from the caller's buffer: one
             # copy per page instead of the old pad-whole-buffer-then-slice
             # (which copied the run twice before slicing it a third time).
@@ -106,9 +155,6 @@ class SimulatedDisk:
                     self._pages[start + i] = bytes(view[lo:data_len]).ljust(
                         page_size, b"\x00"
                     )
-        else:
-            for i in range(n_pages):
-                self._pages[start + i] = _PHANTOM
 
     # ------------------------------------------------------------------
     # Unaccounted access (verification / in-memory bookkeeping only)

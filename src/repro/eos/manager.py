@@ -22,6 +22,12 @@ from repro.eos.segment import (
     plan_cells,
     split_oversized,
 )
+from repro.core.payload import (
+    Payload,
+    payload_bytes,
+    payload_concat,
+    payload_view,
+)
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
 from repro.tree.tree import Cursor, PositionalTree
@@ -54,7 +60,7 @@ class EOSManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Append (doubling growth, like Starburst)
     # ------------------------------------------------------------------
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes in doubling segments, filling the trimmed last segment
         first (Section 2.3).
         """
@@ -62,27 +68,29 @@ class EOSManager(TreeBackedManager):
         if not data:
             return
         with self._op(tree):
-            remaining = memoryview(bytes(data))
+            remaining = payload_view(data)
             prev_alloc = 0
             if tree.total_bytes:
                 cursor = tree.locate(tree.total_bytes)
                 rightmost = cursor.extent
                 prev_alloc = rightmost.alloc_pages
-                filled = self._fill_extent(tree, cursor, bytes(remaining))
+                filled = self._fill_extent(
+                    tree, cursor, payload_bytes(remaining)
+                )
                 remaining = remaining[filled:]
             while remaining:
                 alloc = self._next_segment_pages(prev_alloc, len(remaining))
-                extent = self._fresh_extent(alloc, bytes(remaining))
+                extent = self._fresh_extent(alloc, payload_bytes(remaining))
                 remaining = remaining[extent.used_bytes :]
                 tree.append_extent(extent)
                 prev_alloc = alloc
 
-    def _extend_fresh(self, tree: PositionalTree, data: bytes) -> None:
-        remaining = memoryview(data)
+    def _extend_fresh(self, tree: PositionalTree, data: Payload) -> None:
+        remaining = payload_view(data)
         prev_alloc = 0
         while remaining:
             alloc = self._next_segment_pages(prev_alloc, len(remaining))
-            extent = self._fresh_extent(alloc, bytes(remaining))
+            extent = self._fresh_extent(alloc, payload_bytes(remaining))
             remaining = remaining[extent.used_bytes :]
             tree.append_extent(extent)
             prev_alloc = alloc
@@ -94,7 +102,7 @@ class EOSManager(TreeBackedManager):
             return min(pages_needed, self.config.max_segment_pages)
         return min(2 * prev_alloc, self.config.max_segment_pages)
 
-    def _fresh_extent(self, alloc_pages: int, data: bytes) -> LeafExtent:
+    def _fresh_extent(self, alloc_pages: int, data: Payload) -> LeafExtent:
         """Allocate a segment and fill it with as much of ``data`` as fits."""
         capacity = alloc_pages * self.config.page_size
         take = min(capacity, len(data))
@@ -105,7 +113,7 @@ class EOSManager(TreeBackedManager):
         )
 
     def _fill_extent(
-        self, tree: PositionalTree, cursor: Cursor, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, data: Payload
     ) -> int:
         """Append into the rightmost segment's free capacity, in place."""
         extent = cursor.extent
@@ -116,12 +124,13 @@ class EOSManager(TreeBackedManager):
             return 0
         first_dirty = extent.used_bytes // page_size
         within = extent.used_bytes - first_dirty * page_size
-        prefix = b""
+        prefix: Payload = b""
         if within:
             page = self.env.segio.read_pages(extent.page_id + first_dirty, 1)
             prefix = page[:within]
         self.env.segio.write_pages(
-            extent.page_id + first_dirty, prefix + data[:take]
+            extent.page_id + first_dirty,
+            payload_concat([prefix, data[:take]]),
         )
         tree.update_extent(cursor, used_bytes=extent.used_bytes + take)
         return take
@@ -145,7 +154,7 @@ class EOSManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Insert
     # ------------------------------------------------------------------
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes by splitting the affected segment, shuffling neighbours
         that fit within the threshold T together.
         """
@@ -250,7 +259,7 @@ class EOSManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Replace
     # ------------------------------------------------------------------
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite bytes in place, shadowing each affected segment."""
         tree = self._tree(oid)
         self._check_range(oid, offset, len(data))
@@ -258,20 +267,20 @@ class EOSManager(TreeBackedManager):
             return
         with self._op(tree):
             position = offset
-            remaining = memoryview(bytes(data))
+            remaining = payload_view(data)
             while remaining:
                 cursor = tree.locate(position)
                 extent = cursor.extent
                 within = position - cursor.extent_start
                 take = min(extent.used_bytes - within, len(remaining))
                 self._replace_within_segment(
-                    tree, cursor, within, bytes(remaining[:take])
+                    tree, cursor, within, payload_bytes(remaining[:take])
                 )
                 remaining = remaining[take:]
                 position += take
 
     def _replace_within_segment(
-        self, tree: PositionalTree, cursor: Cursor, position: int, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, position: int, data: Payload
     ) -> None:
         extent = cursor.extent
         page_size = self.config.page_size
@@ -279,7 +288,9 @@ class EOSManager(TreeBackedManager):
             content = self.env.segio.read_boundary_unaligned(
                 extent.page_id, 0, extent.used_bytes
             )
-            patched = content[:position] + data + content[position + len(data):]
+            patched = payload_concat(
+                [content[:position], data, content[position + len(data):]]
+            )
             pages = -(-len(patched) // page_size)
             page_id = self.env.areas.data.allocate(pages)
             self.env.segio.write_pages(page_id, patched)
@@ -292,7 +303,9 @@ class EOSManager(TreeBackedManager):
                 extent.page_id + first, last - first + 1
             )
             lo = position - first * page_size
-            patched = old[:lo] + data + old[lo + len(data) :]
+            patched = payload_concat(
+                [old[:lo], data, old[lo + len(data) :]]
+            )
             self.env.segio.write_pages(extent.page_id + first, patched)
 
     # ------------------------------------------------------------------
@@ -344,7 +357,9 @@ class EOSManager(TreeBackedManager):
                     )
                 )
                 continue
-            content = b"".join(self._piece_bytes(piece) for piece in cell.pieces)
+            content = payload_concat(
+                [self._piece_bytes(piece) for piece in cell.pieces]
+            )
             pages = -(-len(content) // page_size)
             page_id = self.env.areas.data.allocate(pages)
             self.env.segio.write_pages(page_id, content)
@@ -355,7 +370,7 @@ class EOSManager(TreeBackedManager):
             )
         return extents, kept_ranges
 
-    def _piece_bytes(self, piece) -> bytes:
+    def _piece_bytes(self, piece) -> Payload:
         if isinstance(piece, MemPiece):
             return piece.data
         if isinstance(piece, KeepPiece):

@@ -17,14 +17,20 @@ segments, or kept in place.
 from __future__ import annotations
 
 from repro.core.errors import InvalidArgumentError
+from repro.core.payload import Payload
 import dataclasses
 
 
 @dataclasses.dataclass(frozen=True)
 class MemPiece:
-    """Bytes held in memory (freshly inserted data)."""
+    """Bytes held in memory (freshly inserted data).
 
-    data: bytes
+    ``data`` may be a length-only
+    :class:`~repro.core.payload.SizedPayload`; slicing one during
+    :func:`split_oversized` stays O(1).
+    """
+
+    data: Payload
 
     @property
     def nbytes(self) -> int:

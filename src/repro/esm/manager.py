@@ -27,6 +27,12 @@ import dataclasses
 
 from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, InvalidArgumentError
+from repro.core.payload import (
+    Payload,
+    payload_bytes,
+    payload_concat,
+    payload_view,
+)
 from repro.esm import leaf as leaf_rules
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
@@ -74,7 +80,7 @@ class ESMManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Append
     # ------------------------------------------------------------------
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes, redistributing over the two rightmost leaves so all
         but those two stay full (Section 3.4).
         """
@@ -93,22 +99,24 @@ class ESMManager(TreeBackedManager):
             self._append_with_overflow(tree, cursor, data)
 
     def _append_in_place(
-        self, tree: PositionalTree, cursor: Cursor, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, data: Payload
     ) -> None:
         """Fill the rightmost leaf in place; no shadowing (Section 3.3)."""
         extent = cursor.extent
         page_size = self.config.page_size
         first_dirty = extent.used_bytes // page_size
         within = extent.used_bytes - first_dirty * page_size
-        prefix = b""
+        prefix: Payload = b""
         if within:
             page = self.env.segio.read_pages(extent.page_id + first_dirty, 1)
             prefix = page[:within]
-        self.env.segio.write_pages(extent.page_id + first_dirty, prefix + data)
+        self.env.segio.write_pages(
+            extent.page_id + first_dirty, payload_concat([prefix, data])
+        )
         tree.update_extent(cursor, used_bytes=extent.used_bytes + len(data))
 
     def _append_with_overflow(
-        self, tree: PositionalTree, cursor: Cursor, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, data: Payload
     ) -> None:
         """Redistribute rightmost leaf (+ left neighbour) and new bytes."""
         capacity = self.leaf_capacity
@@ -132,10 +140,13 @@ class ESMManager(TreeBackedManager):
         rewritten = old[keep:]
         sizes = sizes[keep:]
         span_start += sum(extent.used_bytes for extent in old[:keep])
-        stream = b"".join(
-            self._read_extent(extent, 0, extent.used_bytes)
-            for extent in rewritten
-        ) + data
+        stream = payload_concat(
+            [
+                self._read_extent(extent, 0, extent.used_bytes)
+                for extent in rewritten
+            ]
+            + [data]
+        )
         new_extents = self._write_leaves(stream, sizes)
         span_bytes = sum(extent.used_bytes for extent in rewritten)
         tree.replace_span(span_start, span_bytes, new_extents)
@@ -145,7 +156,7 @@ class ESMManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Insert
     # ------------------------------------------------------------------
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes at an offset; leaf overflow redistributes with a
         neighbour under the improved algorithm of [Care86].
         """
@@ -166,12 +177,14 @@ class ESMManager(TreeBackedManager):
                 self._insert_with_overflow(tree, cursor, position, data)
 
     def _insert_within_leaf(
-        self, tree: PositionalTree, cursor: Cursor, position: int, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, position: int, data: Payload
     ) -> None:
         """Insert into a leaf with room: copy, update, flush (shadowed)."""
         extent = cursor.extent
         content = self._read_extent(extent, 0, extent.used_bytes)
-        new_content = content[:position] + data + content[position:]
+        new_content = payload_concat(
+            [content[:position], data, content[position:]]
+        )
         if self.env.shadow.overwrite_needs_new_segment():
             new_extent = self._write_leaves(new_content, [len(new_content)])[0]
             self.env.areas.data.free(extent.page_id, extent.alloc_pages)
@@ -190,7 +203,7 @@ class ESMManager(TreeBackedManager):
             tree.update_extent(cursor, used_bytes=len(new_content))
 
     def _insert_with_overflow(
-        self, tree: PositionalTree, cursor: Cursor, position: int, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, position: int, data: Payload
     ) -> None:
         """Leaf overflow: basic or improved redistribution of [Care86]."""
         capacity = self.leaf_capacity
@@ -221,7 +234,7 @@ class ESMManager(TreeBackedManager):
             elif append_right:
                 assert right is not None
                 span.append(right)
-        parts = []
+        parts: list[Payload] = []
         if prepend_left:
             parts.append(self._read_extent(span[0], 0, span[0].used_bytes))
         target_content = self._read_extent(target, 0, target.used_bytes)
@@ -230,7 +243,7 @@ class ESMManager(TreeBackedManager):
         parts.append(target_content[position:])
         if append_right:
             parts.append(self._read_extent(span[-1], 0, span[-1].used_bytes))
-        stream = b"".join(parts)
+        stream = payload_concat(parts)
         sizes = leaf_rules.arrange_even(len(stream), capacity)
         new_extents = self._write_leaves(stream, sizes)
         span_bytes = sum(extent.used_bytes for extent in span)
@@ -266,7 +279,7 @@ class ESMManager(TreeBackedManager):
                     self.env.areas.data.free(extent.page_id, extent.alloc_pages)
                 return
             # Surviving bytes of the boundary leaves.
-            parts = []
+            parts: list[Payload] = []
             if head_len:
                 parts.append(self._read_extent(first, 0, head_len))
             if tail_len:
@@ -292,7 +305,7 @@ class ESMManager(TreeBackedManager):
                     else:
                         span.append(neighbour)
                         parts.append(content)
-            stream = b"".join(parts)
+            stream = payload_concat(parts)
             sizes = leaf_rules.arrange_even(len(stream), self.leaf_capacity)
             new_extents = self._write_leaves(stream, sizes)
             tree.replace_span(
@@ -316,7 +329,7 @@ class ESMManager(TreeBackedManager):
     # ------------------------------------------------------------------
     # Replace
     # ------------------------------------------------------------------
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite bytes in place, shadowing each affected leaf."""
         tree = self._tree(oid)
         self._check_range(oid, offset, len(data))
@@ -324,26 +337,26 @@ class ESMManager(TreeBackedManager):
             return
         with self._op(tree):
             position = offset
-            remaining = memoryview(bytes(data))
+            remaining = payload_view(data)
             while remaining:
                 cursor = tree.locate(position)
                 extent = cursor.extent
                 within = position - cursor.extent_start
                 take = min(extent.used_bytes - within, len(remaining))
                 self._replace_within_leaf(
-                    tree, cursor, within, bytes(remaining[:take])
+                    tree, cursor, within, payload_bytes(remaining[:take])
                 )
                 remaining = remaining[take:]
                 position += take
 
     def _replace_within_leaf(
-        self, tree: PositionalTree, cursor: Cursor, position: int, data: bytes
+        self, tree: PositionalTree, cursor: Cursor, position: int, data: Payload
     ) -> None:
         extent = cursor.extent
         if self.env.shadow.overwrite_needs_new_segment():
             content = self._read_extent(extent, 0, extent.used_bytes)
-            new_content = (
-                content[:position] + data + content[position + len(data) :]
+            new_content = payload_concat(
+                [content[:position], data, content[position + len(data) :]]
             )
             new_extent = self._write_leaves(new_content, [len(new_content)])[0]
             self.env.areas.data.free(extent.page_id, extent.alloc_pages)
@@ -356,19 +369,22 @@ class ESMManager(TreeBackedManager):
                 extent.page_id + first, last - first + 1
             )
             lo = position - first * page_size
-            patched = old[:lo] + data + old[lo + len(data) :]
+            patched = payload_concat(
+                [old[:lo], data, old[lo + len(data) :]]
+            )
             self.env.segio.write_pages(extent.page_id + first, patched)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _extend_fresh(self, tree: PositionalTree, data: bytes) -> None:
+    def _extend_fresh(self, tree: PositionalTree, data: Payload) -> None:
         """Lay brand-new bytes out at the end of the object."""
         sizes = leaf_rules.arrange_fresh(len(data), self.leaf_capacity)
         for extent in self._write_leaves(data, sizes):
             tree.append_extent(extent)
 
-    def _write_leaves(self, stream: bytes, sizes: list[int]) -> list[LeafExtent]:
+    def _write_leaves(self, stream: Payload,
+                      sizes: list[int]) -> list[LeafExtent]:
         """Allocate a leaf per size and write each one's useful prefix."""
         if sum(sizes) != len(stream):
             raise ByteRangeError("leaf arrangement does not cover the bytes")
@@ -393,7 +409,8 @@ class ESMManager(TreeBackedManager):
             )
         return extents
 
-    def _read_extent(self, extent: LeafExtent, start: int, nbytes: int) -> bytes:
+    def _read_extent(self, extent: LeafExtent, start: int,
+                     nbytes: int) -> Payload:
         """Read bytes from one leaf segment (partial or whole-leaf I/O)."""
         if nbytes == 0:
             return b""

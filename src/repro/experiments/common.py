@@ -16,6 +16,7 @@ import os
 from repro.core.api import LargeObjectStore
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.errors import InvalidArgumentError
+from repro.core.payload import SizedPayload
 
 MB = 1 << 20
 KB = 1 << 10
@@ -84,7 +85,21 @@ TINY_SCALE = Scale(
     append_sizes_kb=(3, 4, 8, 64),
 )
 
-_SCALES = {s.name: s for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE)}
+#: Extra-large scale: a 128 MB object, far past the paper's 10 MB.  Only
+#: feasible because payloads are length-only (:mod:`repro.core.payload`)
+#: — at this size a materializing pipeline would copy gigabytes per run.
+XL_SCALE = Scale(
+    name="xl",
+    object_bytes=128 * MB,
+    n_ops=600,
+    window=150,
+    starburst_ops=24,
+    append_sizes_kb=(64, 512),
+)
+
+_SCALES = {
+    s.name: s for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE, XL_SCALE)
+}
 
 
 def format_object_size(nbytes: int) -> str:
@@ -138,7 +153,8 @@ def build_object(
     completes ("the last segment is trimmed").
     """
     oid = store.create()
-    chunk = bytes(chunk_bytes)
+    # Length-only payload: appends carry a size, never actual zeros.
+    chunk = SizedPayload(chunk_bytes)
     done = 0
     while done < total_bytes:
         take = min(chunk_bytes, total_bytes - done)

@@ -21,6 +21,7 @@ import math
 
 from repro.analysis.report import format_table
 from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.payload import SizedPayload
 from repro.experiments.common import (
     KB,
     Scale,
@@ -119,7 +120,7 @@ def compute_scaling(
         probes = 5
         for index in range(probes):
             offset = (index * 2654435761) % store.size(oid)
-            store.insert(oid, offset, bytes(insert_bytes))
+            store.insert(oid, offset, SizedPayload(insert_bytes))
         insert_ms.append(store.elapsed_ms(before) / probes)
     return ScalingResult(
         scheme=scheme,

@@ -481,3 +481,61 @@ class PureReadContractRule(Rule):
             if name == "pure_read":
                 return True
         return False
+
+
+@register
+class PhantomPayloadRule(Rule):
+    """PHANT001: phantom-path layers must not materialize payload bytes.
+
+    The experiments and workload layers drive stores built with
+    ``record_data=False`` (phantom mode): page content never reaches the
+    simulated disk, so constructing real buffers with ``bytes(n)`` /
+    ``bytearray(n)`` or ``b"..." * n`` allocates and copies megabytes per
+    operation that the engine immediately discards.  Payload arguments in
+    these layers must be :class:`repro.core.payload.SizedPayload`, which
+    carries only the length and keeps phantom runs pure arithmetic.
+    Suppress the rule (``# repro-lint: disable=PHANT001``) at the rare
+    sites that genuinely need real content, e.g. recorded-mode round-trip
+    traces.
+    """
+
+    rule_id = "PHANT001"
+    summary = (
+        "no bytes()/bytearray() payload materialization in the phantom "
+        "experiments/workload layers; use SizedPayload"
+    )
+
+    _phantom_layers = frozenset({"experiments", "workload"})
+    _builders = frozenset({"bytes", "bytearray"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.layer not in self._phantom_layers:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self._builders
+                    and node.args
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{func.id}() materializes payload content in a "
+                        "phantom-path layer; pass SizedPayload(n) (or "
+                        "suppress where real content is required)",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+                for side in (node.left, node.right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, bytes
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "bytes-literal repetition materializes payload "
+                            "content in a phantom-path layer; pass "
+                            "SizedPayload(n) instead",
+                        )
+                        break

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.buffer.pool import BufferPool
 from repro.core.config import SystemConfig
 from repro.core.errors import ByteRangeError
+from repro.core.payload import Payload, payload_concat
 
 
 class SegmentIO:
@@ -46,7 +47,8 @@ class SegmentIO:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read_range(self, segment_page: int, byte_off: int, nbytes: int) -> bytes:
+    def read_range(self, segment_page: int, byte_off: int,
+                   nbytes: int) -> Payload:
         """Read ``nbytes`` bytes starting ``byte_off`` bytes into a segment.
 
         Only the pages containing the requested bytes are read (the unit of
@@ -64,8 +66,13 @@ class SegmentIO:
         start = byte_off - first * page_size
         return data[start : start + nbytes]
 
-    def read_pages(self, start_page: int, n_pages: int) -> bytes:
-        """Read a run of physically adjacent pages under the hybrid policy."""
+    def read_pages(self, start_page: int, n_pages: int) -> Payload:
+        """Read a run of physically adjacent pages under the hybrid policy.
+
+        Phantom runs come back as a length-only
+        :class:`~repro.core.payload.SizedPayload` (all zeros, no byte
+        work); recorded runs come back as real ``bytes``.
+        """
         if self._should_buffer(n_pages):
             return self.pool.read_run(start_page, n_pages,
                                       record=self.record_leaf_data)
@@ -80,7 +87,7 @@ class SegmentIO:
         )
         middle_start = start_page + (1 if first_cached is not None else 0)
         middle_end = start_page + n_pages - (1 if last_cached is not None else 0)
-        chunks: list[bytes] = []
+        chunks: list[Payload] = []
         if first_cached is not None:
             chunks.append(first_cached.ljust(page_size, b"\x00"))
         if middle_end > middle_start:
@@ -89,11 +96,11 @@ class SegmentIO:
             )
         if last_cached is not None:
             chunks.append(last_cached.ljust(page_size, b"\x00"))
-        return b"".join(chunks)
+        return payload_concat(chunks)
 
     def read_boundary_unaligned(
         self, segment_page: int, byte_off: int, nbytes: int
-    ) -> bytes:
+    ) -> Payload:
         """Read a byte range with the explicit 3-step boundary treatment.
 
         Like :meth:`read_range`, but when the run is too large to buffer
@@ -117,7 +124,7 @@ class SegmentIO:
 
         left_unaligned = byte_off % page_size != 0
         right_unaligned = (byte_off + nbytes) % page_size != 0
-        chunks: list[bytes] = []
+        chunks: list[Payload] = []
         middle_start = segment_page + first
         middle_count = n_pages
         if left_unaligned:
@@ -130,14 +137,14 @@ class SegmentIO:
             chunks.append(self.pool.disk.read_pages(middle_start, middle_count))
         if right_unaligned and (not left_unaligned or n_pages > 1):
             chunks.append(self._read_one_page(segment_page + last))
-        data = b"".join(chunks)
+        data = payload_concat(chunks)
         start = byte_off - first * page_size
         return data[start : start + nbytes]
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def write_pages(self, start_page: int, data: bytes,
+    def write_pages(self, start_page: int, data: Payload,
                     n_pages: int | None = None) -> None:
         """Write page-aligned data to a run of adjacent pages in one I/O.
 
@@ -165,14 +172,14 @@ class SegmentIO:
         )
         return n_pages <= limit and self.pool.can_accommodate(n_pages)
 
-    def _resident_content(self, page_id: int) -> bytes | None:
+    def _resident_content(self, page_id: int) -> Payload | None:
         frame = self.pool.lookup(page_id)
         if frame is None:
             return None
         self.pool.stats.hits += 1
         return frame.content()
 
-    def _read_one_page(self, page_id: int) -> bytes:
+    def _read_one_page(self, page_id: int) -> Payload:
         """Read one page, through the pool when possible."""
         frame = self.pool.lookup(page_id)
         if frame is not None:

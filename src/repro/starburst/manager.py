@@ -21,6 +21,12 @@ import dataclasses
 from repro.buddy.area import DATA_AREA_BASE
 from repro.core.env import StorageEnvironment
 from repro.core.manager import LargeObjectManager
+from repro.core.payload import (
+    Payload,
+    payload_bytes,
+    payload_concat,
+    payload_view,
+)
 from repro.starburst.descriptor import (
     LongFieldDescriptor,
     Segment,
@@ -55,7 +61,7 @@ class StarburstManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def create(self, data: bytes = b"") -> int:
+    def create(self, data: Payload = b"") -> int:
         """Create a long field; known content is laid out in maximum-size
         segments with the last one trimmed (Section 2.2).
         """
@@ -68,7 +74,7 @@ class StarburstManager(LargeObjectManager):
         return page_id
 
     def _create_known_size(
-        self, descriptor: LongFieldDescriptor, data: bytes
+        self, descriptor: LongFieldDescriptor, data: Payload
     ) -> None:
         """Lay out a field whose size is known in advance: maximum-size
         segments are used to hold it, and the last segment is trimmed."""
@@ -103,7 +109,7 @@ class StarburstManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
+    def read(self, oid: int, offset: int, nbytes: int) -> Payload:
         """Read a byte range straight from the affected segments."""
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, nbytes)
@@ -111,7 +117,7 @@ class StarburstManager(LargeObjectManager):
             return b""
         self._touch_descriptor(descriptor)
         index, within = descriptor.locate(offset)
-        pieces = []
+        pieces: list[Payload] = []
         remaining = nbytes
         while remaining > 0:
             segment = descriptor.segments[index]
@@ -124,22 +130,22 @@ class StarburstManager(LargeObjectManager):
             remaining -= take
             within = 0
             index += 1
-        return b"".join(pieces)
+        return payload_concat(pieces)
 
     # ------------------------------------------------------------------
     # Append
     # ------------------------------------------------------------------
-    def append(self, oid: int, data: bytes) -> None:
+    def append(self, oid: int, data: Payload) -> None:
         """Append bytes, growing the last segment by the doubling pattern."""
         descriptor = self._descriptor(oid)
         if not data:
             return
         with self._op(descriptor):
             self._touch_descriptor(descriptor)
-            remaining = memoryview(bytes(data))
+            remaining = payload_view(data)
             if descriptor.segments:
                 last = descriptor.segments[-1]
-                filled = self._fill_segment(last, bytes(remaining))
+                filled = self._fill_segment(last, payload_bytes(remaining))
                 remaining = remaining[filled:]
                 if remaining and last.alloc_pages != self._pattern_for_last(
                     descriptor
@@ -149,7 +155,7 @@ class StarburstManager(LargeObjectManager):
                     # to a pattern-size segment) before the field can grow.
                     self._untrim_last(descriptor)
                     filled = self._fill_segment(
-                        descriptor.segments[-1], bytes(remaining)
+                        descriptor.segments[-1], payload_bytes(remaining)
                     )
                     remaining = remaining[filled:]
             while remaining:
@@ -166,7 +172,7 @@ class StarburstManager(LargeObjectManager):
                 segment = self._allocate_segment(pages)
                 descriptor.check_capacity(len(descriptor.segments) + 1)
                 descriptor.segments.append(segment)
-                filled = self._fill_segment(segment, bytes(remaining))
+                filled = self._fill_segment(segment, payload_bytes(remaining))
                 remaining = remaining[filled:]
 
     def trim(self, oid: int) -> None:
@@ -178,7 +184,7 @@ class StarburstManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Length-changing updates
     # ------------------------------------------------------------------
-    def insert(self, oid: int, offset: int, data: bytes) -> None:
+    def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes by rewriting everything right of the insertion point
         through the staging buffer (Section 3.5).
         """
@@ -224,7 +230,7 @@ class StarburstManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Replace
     # ------------------------------------------------------------------
-    def replace(self, oid: int, offset: int, data: bytes) -> None:
+    def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite bytes in place, shadowing whole affected segments."""
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, len(data))
@@ -233,12 +239,12 @@ class StarburstManager(LargeObjectManager):
         with self._op(descriptor):
             self._touch_descriptor(descriptor)
             index, within = descriptor.locate(offset)
-            remaining = memoryview(bytes(data))
+            remaining = payload_view(data)
             while remaining:
                 segment = descriptor.segments[index]
                 take = min(segment.used_bytes - within, len(remaining))
                 self._replace_in_segment(
-                    descriptor, index, within, bytes(remaining[:take])
+                    descriptor, index, within, payload_bytes(remaining[:take])
                 )
                 remaining = remaining[take:]
                 within = 0
@@ -249,14 +255,16 @@ class StarburstManager(LargeObjectManager):
         descriptor: LongFieldDescriptor,
         index: int,
         position: int,
-        data: bytes,
+        data: Payload,
     ) -> None:
         segment = descriptor.segments[index]
         if self.env.shadow.overwrite_needs_new_segment():
             content = self.env.segio.read_pages(
                 segment.page_id, segment.used_pages(self.config.page_size)
             )[: segment.used_bytes]
-            patched = content[:position] + data + content[position + len(data):]
+            patched = payload_concat(
+                [content[:position], data, content[position + len(data):]]
+            )
             new_segment = self._allocate_segment(segment.alloc_pages)
             new_segment.used_bytes = segment.used_bytes
             self.env.segio.write_pages(new_segment.page_id, patched)
@@ -270,7 +278,9 @@ class StarburstManager(LargeObjectManager):
                 segment.page_id + first, last - first + 1
             )
             lo = position - first * page_size
-            patched = old[:lo] + data + old[lo + len(data) :]
+            patched = payload_concat(
+                [old[:lo], data, old[lo + len(data) :]]
+            )
             self.env.segio.write_pages(segment.page_id + first, patched)
 
     # ------------------------------------------------------------------
@@ -328,7 +338,7 @@ class StarburstManager(LargeObjectManager):
         pattern = descriptor.pattern_pages_at(max(index, 0))
         return min(pattern, self.max_segment_pages)
 
-    def _fill_segment(self, segment: Segment, data: bytes) -> int:
+    def _fill_segment(self, segment: Segment, data: Payload) -> int:
         """Append into a segment's free capacity; returns bytes consumed."""
         page_size = self.config.page_size
         capacity = segment.capacity(page_size)
@@ -337,12 +347,13 @@ class StarburstManager(LargeObjectManager):
             return 0
         first_dirty = segment.used_bytes // page_size
         within = segment.used_bytes - first_dirty * page_size
-        prefix = b""
+        prefix: Payload = b""
         if within:
             page = self.env.segio.read_pages(segment.page_id + first_dirty, 1)
             prefix = page[:within]
         self.env.segio.write_pages(
-            segment.page_id + first_dirty, prefix + data[:take]
+            segment.page_id + first_dirty,
+            payload_concat([prefix, data[:take]]),
         )
         segment.used_bytes += take
         return take
@@ -382,7 +393,7 @@ class StarburstManager(LargeObjectManager):
         descriptor: LongFieldDescriptor,
         first_index: int,
         splice_at: int,
-        insert_data: bytes,
+        insert_data: Payload,
         delete_bytes: int,
     ) -> None:
         """Copy segments ``first_index..end`` into a new set of segments,
@@ -451,7 +462,7 @@ class _TailReader:
         manager: StarburstManager,
         old_segments: list[Segment],
         splice_at: int,
-        insert_data: bytes,
+        insert_data: Payload,
         delete_bytes: int,
     ) -> None:
         self._manager = manager
@@ -469,9 +480,9 @@ class _TailReader:
         self._piece_index = 0
         self._piece_done = 0
 
-    def read(self, nbytes: int) -> bytes:
+    def read(self, nbytes: int) -> Payload:
         """Read a byte range straight from the affected segments."""
-        chunks: list[bytes] = []
+        chunks: list[Payload] = []
         got = 0
         while got < nbytes and self._piece_index < len(self._pieces):
             piece = self._pieces[self._piece_index]
@@ -491,11 +502,11 @@ class _TailReader:
             if self._piece_done == piece_length:
                 self._piece_index += 1
                 self._piece_done = 0
-        return b"".join(chunks)
+        return payload_concat(chunks)
 
-    def _read_old(self, position: int, nbytes: int) -> bytes:
+    def _read_old(self, position: int, nbytes: int) -> Payload:
         """Read the old tail's byte range, one call per segment touched."""
-        chunks = []
+        chunks: list[Payload] = []
         remaining = nbytes
         start = 0
         for segment in self._segments:
@@ -513,7 +524,7 @@ class _TailReader:
             start = end
             if remaining <= 0:
                 break
-        return b"".join(chunks)
+        return payload_concat(chunks)
 
 
 class _TailWriter:
@@ -525,8 +536,8 @@ class _TailWriter:
         self._index = 0
         self._written_in_segment = 0
 
-    def write(self, data: bytes) -> None:
-        view = memoryview(data)
+    def write(self, data: Payload) -> None:
+        view = payload_view(data)
         while view:
             segment = self._segments[self._index]
             room = segment.used_bytes - self._written_in_segment
@@ -534,14 +545,15 @@ class _TailWriter:
             page_size = self._manager.config.page_size
             first_dirty = self._written_in_segment // page_size
             within = self._written_in_segment - first_dirty * page_size
-            prefix = b""
+            prefix: Payload = b""
             if within:
                 page = self._manager.env.segio.read_pages(
                     segment.page_id + first_dirty, 1
                 )
                 prefix = page[:within]
             self._manager.env.segio.write_pages(
-                segment.page_id + first_dirty, prefix + bytes(view[:take])
+                segment.page_id + first_dirty,
+                payload_concat([prefix, payload_bytes(view[:take])]),
             )
             self._written_in_segment += take
             view = view[take:]

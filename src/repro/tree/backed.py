@@ -12,6 +12,7 @@ import contextlib
 
 from repro.buddy.area import DATA_AREA_BASE
 from repro.core.env import StorageEnvironment
+from repro.core.payload import Payload, payload_concat
 from repro.core.manager import LargeObjectManager
 from repro.tree.node import LeafExtent
 from repro.tree.tree import PositionalTree
@@ -34,7 +35,7 @@ class TreeBackedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def create(self, data: bytes = b"") -> int:
+    def create(self, data: Payload = b"") -> int:
         """Create an object backed by a fresh positional count tree."""
         tree = PositionalTree(
             self.config,
@@ -65,20 +66,26 @@ class TreeBackedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, oid: int, offset: int, nbytes: int) -> bytes:
-        """Read a byte range located through the positional tree."""
+    def read(self, oid: int, offset: int, nbytes: int) -> Payload:
+        """Read a byte range located through the positional tree.
+
+        Phantom leaf data comes back as a length-only
+        :class:`~repro.core.payload.SizedPayload`; recorded data as real
+        ``bytes``.
+        """
         tree = self._tree(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
-        pieces = []
+        pieces: list[Payload] = []
         for extent, start in tree.extents_covering(offset, nbytes):
             lo = max(offset, start) - start
             hi = min(offset + nbytes, start + extent.used_bytes) - start
             pieces.append(self._read_extent(extent, lo, hi - lo))
-        return b"".join(pieces)
+        return payload_concat(pieces)
 
-    def _read_extent(self, extent: LeafExtent, start: int, nbytes: int) -> bytes:
+    def _read_extent(self, extent: LeafExtent, start: int,
+                     nbytes: int) -> Payload:
         """Read bytes from one segment under the hybrid buffering policy."""
         if nbytes == 0:
             return b""
@@ -118,6 +125,6 @@ class TreeBackedManager(LargeObjectManager):
         finally:
             tree.end_op()
 
-    def _extend_fresh(self, tree: PositionalTree, data: bytes) -> None:
+    def _extend_fresh(self, tree: PositionalTree, data: Payload) -> None:
         """Lay brand-new bytes out at the end of an (empty) object."""
         raise NotImplementedError

@@ -13,10 +13,12 @@ segments themselves.  Higher levels point at child index pages.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import struct
 
 from repro.core.config import SystemConfig
 from repro.core.errors import InvalidArgumentError, StorageCorruptionError
+from repro.lint.contracts import runtime_checks_enabled
 
 _NODE_HEADER = struct.Struct("<2sBBHH")  # magic, level, flags, n_entries, pad
 _ROOT_HEADER = struct.Struct("<2sBBHHQIQQI")  # + total_bytes, rightmost_alloc, rsvd
@@ -26,7 +28,7 @@ _NODE_MAGIC = b"IN"
 _ROOT_MAGIC = b"RT"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LeafExtent:
     """One data segment referenced by a level-1 index node.
 
@@ -56,7 +58,7 @@ class LeafExtent:
         return self.alloc_pages * page_size - self.used_bytes
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Entry:
     """An in-memory (count, pointer) pair of an index node."""
 
@@ -78,6 +80,19 @@ class IndexNode:
         self.dirty = False
         #: Set once the node has been relocated (shadowed) in the current op.
         self.shadowed_this_op = False
+        #: Cached cumulative byte counts (see :meth:`cums`); the first
+        #: ``_cums_valid`` items are current.  Every mutation of entries
+        #: must call :meth:`counts_changed` with the first changed index.
+        self._cums: list[int] = []
+        self._cums_valid = 0
+        #: Packed on-disk (cumulative, pointer) pairs for the first
+        #: ``_packed_pairs`` entries; appends extend it incrementally, so
+        #: serializing after an append repacks only the new tail.
+        self._packed = bytearray()
+        self._packed_pairs = 0
+        #: Pointer base the packed pairs were encoded against; a different
+        #: base (never expected for one tree) forces a full repack.
+        self._packed_base: int | None = None
 
     @property
     def is_leaf_parent(self) -> bool:
@@ -87,11 +102,60 @@ class IndexNode:
     @property
     def total_bytes(self) -> int:
         """Bytes stored in the subtree rooted at this node."""
-        return sum(entry.bytes_count for entry in self.entries)
+        cums = self.cums()
+        return cums[-1] if cums else 0
 
     def entry_bytes(self) -> list[int]:
         """Per-child byte counts, in order."""
         return [entry.bytes_count for entry in self.entries]
+
+    # ------------------------------------------------------------------
+    # Cumulative-count cache
+    # ------------------------------------------------------------------
+    def cums(self) -> list[int]:
+        """Cumulative byte counts of the entries (``cums[i]`` covers
+        entries ``0..i``), cached until :meth:`counts_changed`.
+
+        This array is the node's on-disk representation of the counts and
+        the search key for every descent, so sharing one cached copy
+        between :meth:`serialize`, child choice, and boundary lookups
+        turns repeated per-entry Python loops into a single rebuild per
+        mutation — and mutations invalidate only from the first changed
+        entry, so append-heavy workloads extend the cache by one item
+        instead of rebuilding it.  Callers must not mutate the returned
+        list.
+        """
+        entries = self.entries
+        n = len(entries)
+        cums = self._cums
+        valid = self._cums_valid
+        if valid < n or len(cums) != n:
+            del cums[valid:]
+            total = cums[-1] if cums else 0
+            for entry in entries[valid:]:
+                total += entry.bytes_count
+                cums.append(total)
+            self._cums_valid = n
+        if runtime_checks_enabled():
+            counts = [entry.bytes_count for entry in entries]
+            if cums != list(itertools.accumulate(counts)):
+                raise StorageCorruptionError(
+                    f"stale cumulative-count cache on index page "
+                    f"{self.page_id}: a mutation missed counts_changed()"
+                )
+        return cums
+
+    def counts_changed(self, index: int = 0) -> None:
+        """Invalidate the caches from entry ``index`` onwards.
+
+        Must be called after any mutation of the entries list, an entry's
+        ``bytes_count``, or an entry's ``ref``, with the lowest affected
+        index; everything before ``index`` stays cached.
+        """
+        if index < self._cums_valid:
+            self._cums_valid = index
+        if index < self._packed_pairs:
+            self._packed_pairs = index
 
     # ------------------------------------------------------------------
     # Serialization
@@ -109,14 +173,45 @@ class IndexNode:
             header = _NODE_HEADER.pack(
                 _NODE_MAGIC, self.level, 0, len(self.entries), 0
             )
-        parts = [header]
-        cumulative = 0
-        base = data_base if self.is_leaf_parent else meta_base
-        for entry in self.entries:
-            cumulative += entry.bytes_count
-            ptr = entry.ref.page_id if self.is_leaf_parent else entry.ref
-            parts.append(_PAIR.pack(cumulative, ptr - base))
-        page = b"".join(parts)
+        entries = self.entries
+        n = len(entries)
+        packed = self._packed
+        serialize_base = data_base if self.is_leaf_parent else meta_base
+        if serialize_base != self._packed_base:
+            self._packed_pairs = 0
+            self._packed_base = serialize_base
+        k = self._packed_pairs
+        if k < n or len(packed) != 8 * n:
+            # Repack only the entries past the valid prefix in one
+            # C-level struct.pack; after an append that is a single pair.
+            del packed[8 * k:]
+            cums = self.cums()
+            base = serialize_base
+            if self.is_leaf_parent:
+                ptrs = [entry.ref.page_id - base for entry in entries[k:]]
+            else:
+                ptrs = [entry.ref - base for entry in entries[k:]]
+            flat = list(
+                itertools.chain.from_iterable(zip(cums[k:], ptrs))
+            )
+            packed += struct.pack(f"<{len(flat)}I", *flat)
+            self._packed_pairs = n
+        if runtime_checks_enabled():
+            base = data_base if self.is_leaf_parent else meta_base
+            expected = b"".join(
+                _PAIR.pack(
+                    cumulative,
+                    (entry.ref.page_id if self.is_leaf_parent
+                     else entry.ref) - base,
+                )
+                for cumulative, entry in zip(self.cums(), entries)
+            )
+            if bytes(packed) != expected:
+                raise StorageCorruptionError(
+                    f"stale packed-pair cache on index page "
+                    f"{self.page_id}: a mutation missed counts_changed()"
+                )
+        page = header + packed
         if len(page) > config.page_size:
             raise StorageCorruptionError(
                 f"index node with {len(self.entries)} entries overflows page"
@@ -149,21 +244,37 @@ class IndexNode:
             offset = _NODE_HEADER.size
         node = cls(page_id, max(level, 1))
         base = data_base if node.is_leaf_parent else meta_base
-        previous = 0
-        for i in range(n):
-            cumulative, ptr = _PAIR.unpack_from(data, offset + i * _PAIR.size)
-            count = cumulative - previous
-            previous = cumulative
-            if node.is_leaf_parent:
-                is_rightmost = is_root and i == n - 1
+        # Decode every pair in one C-level unpack; the cumulative counts
+        # are exactly the node's cums() cache, so seed it directly.
+        flat = struct.unpack_from(f"<{2 * n}I", data, offset)
+        cums = list(flat[0::2])
+        ptrs = flat[1::2]
+        counts = [
+            cumulative - previous
+            for cumulative, previous in zip(cums, [0] + cums[:-1])
+        ]
+        entries = node.entries
+        if node.is_leaf_parent:
+            last = n - 1
+            for i, count in enumerate(counts):
                 extent = LeafExtent(
-                    page_id=base + ptr,
+                    page_id=base + ptrs[i],
                     used_bytes=count,
-                    alloc_pages=leaf_alloc_pages(count, is_rightmost),
+                    alloc_pages=leaf_alloc_pages(
+                        count, is_root and i == last
+                    ),
                 )
-                node.entries.append(Entry(count, extent))
-            else:
-                node.entries.append(Entry(count, base + ptr))
+                entries.append(Entry(count, extent))
+        else:
+            for i, count in enumerate(counts):
+                entries.append(Entry(count, base + ptrs[i]))
+        # Seed both caches from the decoded page: the cumulative counts
+        # are exactly cums() and the raw pair region is the packed cache.
+        node._cums = cums
+        node._cums_valid = n
+        node._packed = bytearray(data[offset : offset + 8 * n])
+        node._packed_pairs = n
+        node._packed_base = base
         return node, total, rightmost_alloc
 
 

@@ -16,7 +16,9 @@ all modified pages are flushed at the end of the operation.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import itertools
 from typing import Callable, Iterator
 
 from repro.buddy.allocator import BuddyAllocator
@@ -31,7 +33,7 @@ from repro.tree.node import Entry, IndexNode, LeafExtent
 LeafAllocFn = Callable[[int, bool], int]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Cursor:
     """Result of locating a byte offset: the extent holding it.
 
@@ -311,9 +313,11 @@ class PositionalTree:
             extent.alloc_pages = alloc_pages
         node, index = cursor.path[-1]
         node.entries[index].bytes_count = extent.used_bytes
+        node.counts_changed(index)
         if delta:
             for ancestor, child_index in cursor.path[:-1]:
                 ancestor.entries[child_index].bytes_count += delta
+                ancestor.counts_changed(child_index)
             self.total_bytes += delta
         self._shadow_path(cursor.path)
 
@@ -357,6 +361,7 @@ class PositionalTree:
         root = self._get_node(self.root_page_id)
         if not root.entries:
             root.entries.append(Entry(extent.used_bytes, extent))
+            root.counts_changed()
             self.total_bytes += extent.used_bytes
             self._mark_node_dirty(root)
             return
@@ -372,8 +377,10 @@ class PositionalTree:
             node = self._get_node(node.entries[index].ref)
         insert_at = _boundary_index(node, position - start)
         node.entries.insert(insert_at, Entry(extent.used_bytes, extent))
+        node.counts_changed(insert_at)
         for ancestor, child_index in path:
             ancestor.entries[child_index].bytes_count += extent.used_bytes
+            ancestor.counts_changed(child_index)
         self.total_bytes += extent.used_bytes
         self._shadow_path(path + [(node, insert_at)])
         self._fix_overflow(path, node)
@@ -388,8 +395,10 @@ class PositionalTree:
             )
         node, index = cursor.path[-1]
         removed = node.entries.pop(index)
+        node.counts_changed(index)
         for ancestor, child_index in cursor.path[:-1]:
             ancestor.entries[child_index].bytes_count -= removed.bytes_count
+            ancestor.counts_changed(child_index)
         self.total_bytes -= removed.bytes_count
         self._shadow_path(cursor.path[:-1] + [(node, None)])
         self._fix_underflow(cursor.path[:-1], node)
@@ -422,11 +431,14 @@ class PositionalTree:
             sibling = self._new_node(node.level)
             half = len(node.entries) // 2
             sibling.entries = node.entries[half:]
+            sibling.counts_changed()
             node.entries = node.entries[:half]
+            node.counts_changed(half)
             parent.entries[child_index].bytes_count = node.total_bytes
             parent.entries.insert(
                 child_index + 1, Entry(sibling.total_bytes, sibling.page_id)
             )
+            parent.counts_changed(child_index)
             self._mark_node_dirty(node)
             self._mark_node_dirty(sibling)
             self._shadow_path(path[:-1] + [(parent, None)])
@@ -439,11 +451,14 @@ class PositionalTree:
         right = self._new_node(root.level)
         half = len(root.entries) // 2
         left.entries = root.entries[:half]
+        left.counts_changed()
         right.entries = root.entries[half:]
+        right.counts_changed()
         root.entries = [
             Entry(left.total_bytes, left.page_id),
             Entry(right.total_bytes, right.page_id),
         ]
+        root.counts_changed()
         root.level += 1
         self.height += 1
         self._mark_node_dirty(left)
@@ -485,9 +500,12 @@ class PositionalTree:
         if left_sibling is not None and len(left_sibling.entries) > minimum:
             self._relocate_if_needed(left_sibling, (parent, child_index - 1))
             moved = left_sibling.entries.pop()
+            left_sibling.counts_changed(len(left_sibling.entries))
             node.entries.insert(0, moved)
+            node.counts_changed()
             parent.entries[child_index - 1].bytes_count -= moved.bytes_count
             parent.entries[child_index].bytes_count += moved.bytes_count
+            parent.counts_changed(child_index - 1)
             self._mark_node_dirty(left_sibling)
             self._mark_node_dirty(node)
             self._mark_node_dirty(parent)
@@ -495,9 +513,12 @@ class PositionalTree:
         if right_sibling is not None and len(right_sibling.entries) > minimum:
             self._relocate_if_needed(right_sibling, (parent, child_index + 1))
             moved = right_sibling.entries.pop(0)
+            right_sibling.counts_changed()
             node.entries.append(moved)
+            node.counts_changed(len(node.entries) - 1)
             parent.entries[child_index + 1].bytes_count -= moved.bytes_count
             parent.entries[child_index].bytes_count += moved.bytes_count
+            parent.counts_changed(child_index)
             self._mark_node_dirty(right_sibling)
             self._mark_node_dirty(node)
             self._mark_node_dirty(parent)
@@ -514,9 +535,12 @@ class PositionalTree:
             # B-tree rules only while the parent is the root.
             return False
         self._relocate_if_needed(keeper, (parent, keeper_index))
+        keeper_old_len = len(keeper.entries)
         keeper.entries.extend(victim.entries)
+        keeper.counts_changed(keeper_old_len)
         parent.entries[keeper_index].bytes_count = keeper.total_bytes
         parent.entries.pop(keeper_index + 1)
+        parent.counts_changed(keeper_index)
         self._drop_node(victim)
         self._mark_node_dirty(keeper)
         self._mark_node_dirty(parent)
@@ -529,6 +553,7 @@ class PositionalTree:
             if len(child.entries) > self.config.root_fanout:
                 return
             root.entries = child.entries
+            root.counts_changed()
             root.level = child.level
             self.height -= 1
             self._drop_node(child)
@@ -633,15 +658,17 @@ class PositionalTree:
             parent_node, child_index = parent
             if child_index is not None:
                 parent_node.entries[child_index].ref = new_page
+                parent_node.counts_changed(child_index)
             else:
                 self._repoint_child(parent_node, old_page, new_page)
 
     def _repoint_child(
         self, parent: IndexNode, old_page: int, new_page: int
     ) -> None:
-        for entry in parent.entries:
+        for index, entry in enumerate(parent.entries):
             if entry.ref == old_page:
                 entry.ref = new_page
+                parent.counts_changed(index)
                 return
         raise StorageCorruptionError("shadowed node missing from its parent")
 
@@ -726,7 +753,8 @@ class PositionalTree:
         """Byte offset of the entry selected by the path's last element."""
         total = 0
         for node, index in path:
-            total += sum(e.bytes_count for e in node.entries[:index])
+            if index:
+                total += node.cums()[index - 1]
         return total
 
     # ------------------------------------------------------------------
@@ -778,23 +806,24 @@ def _choose_child(
     offset equal to a boundary between children selects the right-hand
     child; an offset equal to the node's total selects the last child.
     """
-    cumulative = 0
-    for index, entry in enumerate(node.entries):
-        next_cumulative = cumulative + entry.bytes_count
-        if offset < next_cumulative:
-            return index, cumulative
-        cumulative = next_cumulative
-    return len(node.entries) - 1, cumulative - node.entries[-1].bytes_count
+    cumulative = node.cums()
+    # First child whose cumulative total exceeds the offset; an offset at
+    # or past the node total clamps to the last child.
+    index = bisect.bisect_right(cumulative, offset)
+    if index >= len(cumulative):
+        index = len(cumulative) - 1
+    return index, cumulative[index - 1] if index else 0
 
 
 def _boundary_index(node: IndexNode, offset: int) -> int:
     """Entry index at which a new extent starting at ``offset`` (relative
     to the node) must be inserted.  ``offset`` must be a boundary."""
-    cumulative = 0
-    for index, entry in enumerate(node.entries):
-        if offset == cumulative:
-            return index
-        cumulative += entry.bytes_count
-    if offset == cumulative:
-        return len(node.entries)
+    if offset == 0:
+        return 0
+    cumulative = node.cums()
+    # The entry inserted at index i starts at the cumulative total of the
+    # first i entries, so a boundary offset must appear in ``cumulative``.
+    index = bisect.bisect_left(cumulative, offset)
+    if index < len(cumulative) and cumulative[index] == offset:
+        return index + 1
     raise StorageCorruptionError("insert position is not an extent boundary")

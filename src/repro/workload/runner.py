@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.manager import LargeObjectManager
+from repro.core.payload import SizedPayload
 from repro.workload.generator import DELETE, INSERT, READ, WorkloadGenerator
 from repro.core.errors import InvalidArgumentError
 
@@ -61,8 +62,6 @@ class WorkloadRunner:
         self.manager = manager
         self.oid = oid
         self.generator = generator
-        #: Reused insert payload buffer (content is irrelevant to cost).
-        self._payload = b""
 
     def run(
         self,
@@ -111,8 +110,10 @@ class WorkloadRunner:
                 current = WindowStats(ops_done=0)
         return windows
 
-    def _bytes(self, nbytes: int) -> bytes:
-        """Insert payload of the requested size (zero-filled)."""
-        if len(self._payload) < nbytes:
-            self._payload = bytes(nbytes)
-        return self._payload[:nbytes]
+    def _bytes(self, nbytes: int) -> SizedPayload:
+        """Insert payload of the requested size (zero by definition).
+
+        A length-only :class:`SizedPayload`: the content is irrelevant to
+        cost, so no bytes are ever materialized.
+        """
+        return SizedPayload(nbytes)

@@ -178,4 +178,7 @@ def replay(
 def _payload(nbytes: int, salt: int) -> bytes:
     if nbytes <= 0:
         return b""
-    return bytes((salt * 31 + i) % 251 for i in range(nbytes))
+    # Replay needs reproducible *real* content so recorded-mode replays
+    # round-trip byte-for-byte; this is the one workload-layer site that
+    # must materialize.
+    return bytes((salt * 31 + i) % 251 for i in range(nbytes))  # repro-lint: disable=PHANT001

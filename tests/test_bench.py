@@ -96,7 +96,7 @@ class TestCLI:
         assert document["scale"] == "tiny"
         assert document["version"] == bench_cli.FORMAT_VERSION
         assert {p["name"] for p in document["points"]} >= {
-            "build/esm", "random/starburst"
+            "tiny/build/esm", "tiny/random/starburst"
         }
 
     def test_default_name_auto_increments(self, tmp_path, capsys):
@@ -128,15 +128,88 @@ class TestCLI:
             pool_hit_rate=0.5,
         )
         monkeypatch.setattr(
-            bench_cli, "run_bench", lambda scale, repeat=1: [slow]
+            bench_cli, "run_bench",
+            lambda scale, repeat=1, only=None: [slow],
         )
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({
-            "version": 1, "bench": 2, "scale": "tiny",
-            "points": [{"name": "random/esm", "wall_s": 0.1}],
+            "version": 2, "bench": 2, "scale": "tiny",
+            "points": [{"name": "tiny/random/esm", "wall_s": 0.1}],
         }))
         out = tmp_path / "BENCH_5.json"
         assert bench_cli.main(
             ["--scale", "tiny", "--out", str(out), "--check", str(baseline)]
         ) == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestMultiScale:
+    def test_only_restricts_the_grid(self):
+        points = run_bench(resolve_scale("tiny"), only={"build/esm"})
+        assert [p.name for p in points] == ["build/esm"]
+
+    def test_also_scale_qualifies_names(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_9.json"
+        assert bench_cli.main([
+            "--scale", "tiny", "--also", "small",
+            "--point", "build/esm", "--out", str(out),
+        ]) == 0
+        document = json.loads(out.read_text())
+        assert document["scale"] == "tiny+small"
+        assert [p["name"] for p in document["points"]] == [
+            "tiny/build/esm", "small/build/esm"
+        ]
+
+
+class TestCompareMode:
+    def _doc(self, scale, points):
+        return {"version": 1, "bench": 2, "scale": scale, "points": points}
+
+    def _point(self, name, wall, sim=1.0):
+        return {
+            "name": name, "wall_s": wall, "sim_s": sim,
+            "io_calls": 1, "pages": 1, "pool_hit_rate": 0.5,
+        }
+
+    def test_compare_prints_deltas_without_running(self, tmp_path, capsys,
+                                                   monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("--compare must not run the bench")
+
+        monkeypatch.setattr(bench_cli, "run_bench", boom)
+        a = tmp_path / "A.json"
+        b = tmp_path / "B.json"
+        a.write_text(json.dumps(self._doc("paper", [
+            self._point("build/esm", 0.10), self._point("old/point", 1.0),
+        ])))
+        b.write_text(json.dumps(self._doc("paper", [
+            self._point("build/esm", 0.05), self._point("new/point", 1.0),
+        ])))
+        assert bench_cli.main(["--compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "2.00x" in out
+        assert "only in A" in out
+        assert "only in B" in out
+
+    def test_compare_flags_sim_changes(self, tmp_path, capsys):
+        a = tmp_path / "A.json"
+        b = tmp_path / "B.json"
+        a.write_text(json.dumps(self._doc("tiny", [
+            self._point("scan/esm", 0.1, sim=2.0),
+        ])))
+        b.write_text(json.dumps(self._doc("tiny", [
+            self._point("scan/esm", 0.1, sim=3.0),
+        ])))
+        assert bench_cli.main(["--compare", str(a), str(b)]) == 0
+        assert "sim CHANGED" in capsys.readouterr().out
+
+
+class TestProfileMode:
+    def test_profile_prints_summaries_and_writes_nothing(self, tmp_path,
+                                                         capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert bench_cli.main(["--profile", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "--- profile: build/esm" in out
+        assert "ncalls" in out
+        assert list(tmp_path.glob("BENCH_*.json")) == []

@@ -275,6 +275,62 @@ class TestPureReadContractRule:
 
 
 # ----------------------------------------------------------------------
+# PHANT001: phantom-path payload materialization
+# ----------------------------------------------------------------------
+class TestPhantomPayloadRule:
+    def test_bytes_call_in_experiments_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/experiments/bad.py", """\
+            def probe(store, oid, n):
+                store.insert(oid, 0, bytes(n))
+            """)
+        violations = run_rule("PHANT001", path)
+        assert [v.rule_id for v in violations] == ["PHANT001"]
+        assert "SizedPayload" in violations[0].message
+
+    def test_bytearray_in_workload_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/workload/bad.py", """\
+            def payload(n):
+                return bytearray(n)
+            """)
+        assert [v.rule_id for v in run_rule("PHANT001", path)] == ["PHANT001"]
+
+    def test_bytes_literal_repetition_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/experiments/rep.py", """\
+            def payload(n):
+                return b"\\x00" * n
+            """)
+        violations = run_rule("PHANT001", path)
+        assert [v.rule_id for v in violations] == ["PHANT001"]
+        assert "repetition" in violations[0].message
+
+    def test_sized_payload_is_clean(self, tmp_path):
+        path = write(tmp_path, "repro/experiments/good.py", """\
+            from repro.core.payload import SizedPayload
+
+            def probe(store, oid, n):
+                store.insert(oid, 0, SizedPayload(n))
+            """)
+        assert run_rule("PHANT001", path) == []
+
+    def test_other_layers_not_covered(self, tmp_path):
+        path = write(tmp_path, "repro/disk/zero.py", """\
+            def zero_page(n):
+                return bytes(n)
+            """)
+        assert run_rule("PHANT001", path) == []
+
+    def test_empty_bytes_and_suppression_allowed(self, tmp_path):
+        path = write(tmp_path, "repro/workload/mixed.py", """\
+            def empty():
+                return bytes()
+
+            def real(n):
+                return bytes(i % 7 for i in range(n))  # repro-lint: disable=PHANT001
+            """)
+        assert run_rule("PHANT001", path) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 class TestSuppressions:

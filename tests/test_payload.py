@@ -1,0 +1,203 @@
+"""Tests for repro.core.payload and the phantom/recorded invariance.
+
+Two layers of pinning:
+
+* :class:`SizedPayload` behaves exactly like the all-zero ``bytes`` it
+  stands for (length, slicing, concatenation, equality, padding);
+* running the same operation sequence with ``record_data=True`` (real
+  content) and ``record_data=False`` (length-only payloads) produces
+  bit-identical :class:`~repro.disk.iomodel.IOStats`, pool counters, and
+  report fields — the paper's §4.1 accounting trick, now enforced.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.api import LargeObjectStore
+from repro.core.config import PAPER_CONFIG
+from repro.core.errors import InvalidArgumentError
+from repro.core.payload import (
+    SizedPayload,
+    payload_bytes,
+    payload_concat,
+    payload_view,
+    zeros,
+)
+
+PAGE = PAPER_CONFIG.page_size
+
+SCHEMES = ("esm", "starburst", "eos")
+
+
+# ----------------------------------------------------------------------
+# SizedPayload semantics
+# ----------------------------------------------------------------------
+class TestSizedPayload:
+    def test_length_and_truthiness(self):
+        assert len(SizedPayload(17)) == 17
+        assert SizedPayload(1)
+        assert not SizedPayload(0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SizedPayload(-1)
+
+    def test_slicing_is_lazy_and_clamped(self):
+        p = SizedPayload(100)
+        sliced = p[10:40]
+        assert isinstance(sliced, SizedPayload)
+        assert len(sliced) == 30
+        assert len(p[90:500]) == 10
+        assert len(p[50:10]) == 0
+        with pytest.raises(InvalidArgumentError):
+            p[::2]
+
+    def test_indexing_and_iteration_yield_zeros(self):
+        p = SizedPayload(3)
+        assert p[0] == 0 and p[-1] == 0
+        with pytest.raises(IndexError):
+            p[3]
+        assert list(p) == [0, 0, 0]
+
+    def test_concatenation(self):
+        lazy = SizedPayload(4) + SizedPayload(6)
+        assert isinstance(lazy, SizedPayload) and len(lazy) == 10
+        assert SizedPayload(2) + b"ab" == b"\x00\x00ab"
+        assert b"ab" + SizedPayload(2) == b"ab\x00\x00"
+        # Empty real parts never force materialization.
+        assert isinstance(SizedPayload(5) + b"", SizedPayload)
+        assert isinstance(b"" + SizedPayload(5), SizedPayload)
+
+    def test_equality_matches_zero_bytes(self):
+        assert SizedPayload(4) == b"\x00" * 4
+        assert SizedPayload(4) == SizedPayload(4)
+        assert SizedPayload(4) != b"\x00\x00\x00\x01"
+        assert SizedPayload(4) != b"\x00" * 5
+
+    def test_materialization_and_ljust(self):
+        assert bytes(SizedPayload(8)) == b"\x00" * 8
+        assert SizedPayload(8).tobytes() == b"\x00" * 8
+        padded = SizedPayload(3).ljust(9)
+        assert isinstance(padded, SizedPayload) and len(padded) == 9
+        assert len(SizedPayload(9).ljust(3)) == 9
+        with pytest.raises(InvalidArgumentError):
+            SizedPayload(3).ljust(9, b"x")
+
+    def test_helpers(self):
+        assert isinstance(zeros(5), SizedPayload)
+        lazy = payload_concat([SizedPayload(3), SizedPayload(4), b""])
+        assert isinstance(lazy, SizedPayload) and len(lazy) == 7
+        mixed = payload_concat([SizedPayload(2), b"xy"])
+        assert mixed == b"\x00\x00xy"
+        view = payload_view(b"abcd")
+        assert isinstance(view, memoryview)
+        assert payload_view(SizedPayload(4)) is not None
+        assert payload_bytes(view[1:3]) == b"bc"
+        sized = SizedPayload(4)
+        assert payload_bytes(sized) is sized
+
+
+# ----------------------------------------------------------------------
+# Phantom/recorded invariance
+# ----------------------------------------------------------------------
+def _pattern(n, salt=0):
+    return bytes((salt * 31 + i) % 251 for i in range(n))
+
+
+#: Read ranges deliberately not aligned to pages or leaf boundaries:
+#: (offset, nbytes) pairs crossing page edges, leaf edges, and the tail.
+UNALIGNED_RANGES = (
+    (1, PAGE - 2),
+    (PAGE - 3, 7),
+    (PAGE + 5, 3 * PAGE),
+    (4 * PAGE - 1, PAGE + 2),
+    (0, 5 * PAGE + 11),
+)
+
+
+def _run_sequence(scheme, record_data):
+    """One scripted op mix; returns (stats, pool stats, report fields).
+
+    The recorded run writes real patterned content, the phantom run
+    length-only payloads — every payload pair agrees on length, which is
+    all the cost model may depend on.
+    """
+    def payload(n, salt=0):
+        return _pattern(n, salt) if record_data else SizedPayload(n)
+
+    store = LargeObjectStore(
+        scheme,
+        PAPER_CONFIG,
+        leaf_pages=4,
+        threshold_pages=4,
+        record_data=record_data,
+    )
+    oid = store.create()
+    for index in range(12):
+        store.append(oid, payload(30_000, salt=index))
+    store.insert(oid, 70_001, payload(9_999, salt=91))
+    store.delete(oid, 123_456, 4_321)
+    store.replace(oid, 200_000, payload(5_000, salt=92))
+    for offset, nbytes in UNALIGNED_RANGES:
+        result = store.read(oid, offset, nbytes)
+        assert len(result) == nbytes
+    report = {
+        "size": store.size(oid),
+        "utilization": store.utilization(oid),
+        "allocated_pages": store.allocated_pages(oid),
+        "elapsed_ms": store.elapsed_ms(),
+    }
+    return store.stats, store.env.pool.stats, report
+
+
+class TestPhantomInvariance:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_stats_identical_across_record_modes(self, scheme):
+        real_stats, real_pool, real_report = _run_sequence(scheme, True)
+        ph_stats, ph_pool, ph_report = _run_sequence(scheme, False)
+        assert dataclasses.asdict(real_stats) == dataclasses.asdict(ph_stats)
+        assert real_pool.hits == ph_pool.hits
+        assert real_pool.misses == ph_pool.misses
+        assert real_pool.hit_rate == ph_pool.hit_rate
+        assert real_report == ph_report
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("offset,nbytes", UNALIGNED_RANGES)
+    def test_read_boundary_unaligned(self, scheme, offset, nbytes):
+        """Unaligned reads cost the same and agree on content length in
+        both modes; recorded mode returns the very bytes written."""
+        def run(record_data):
+            store = LargeObjectStore(
+                scheme,
+                PAPER_CONFIG,
+                leaf_pages=4,
+                threshold_pages=4,
+                record_data=record_data,
+            )
+            content = _pattern(6 * PAGE + 123)
+            data = content if record_data else SizedPayload(len(content))
+            oid = store.create(data)
+            before = store.snapshot()
+            result = store.read(oid, offset, nbytes)
+            return content, bytes(result), store.stats.delta(before)
+
+        content, recorded, real_delta = run(True)
+        _, phantom, phantom_delta = run(False)
+        assert recorded == content[offset : offset + nbytes]
+        assert phantom == bytes(nbytes)
+        assert dataclasses.asdict(real_delta) == dataclasses.asdict(
+            phantom_delta
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_recorded_mode_roundtrips_sized_payloads(self, scheme):
+        """A SizedPayload written in recorded mode reads back as zeros —
+        the payload type never changes what lands on the disk image."""
+        store = LargeObjectStore(scheme, PAPER_CONFIG, record_data=True)
+        oid = store.create(SizedPayload(2 * PAGE + 7))
+        store.append(oid, _pattern(100, salt=3))
+        assert bytes(store.read(oid, 0, 2 * PAGE + 7)) == bytes(2 * PAGE + 7)
+        assert bytes(store.read(oid, 2 * PAGE + 7, 100)) == _pattern(
+            100, salt=3
+        )
