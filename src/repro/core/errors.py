@@ -63,5 +63,32 @@ class CrashError(ReproError):
     """Raised by the injector when the simulated system 'crashes'."""
 
 
+class IOFaultError(ReproError):
+    """An injected device-level I/O fault (see :mod:`repro.faults`).
+
+    ``transient`` faults model the recoverable failures real devices
+    report (a bad read that succeeds on retry); the storage stack retries
+    them a bounded number of times before letting the error escape.
+    Non-transient faults escape immediately.
+    """
+
+    def __init__(self, message: str, *, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
+class ChecksumError(StorageCorruptionError):
+    """A page's stored content no longer matches its write-time checksum.
+
+    Raised by :class:`repro.disk.disk.SimulatedDisk` when an accounted
+    read returns bytes whose CRC differs from the one recorded in the
+    page envelope — silent corruption is detected, never propagated.
+    """
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"checksum mismatch reading page {page_id}")
+        self.page_id = page_id
+
+
 class ContractViolationError(StorageCorruptionError):
     """A runtime ``@pure_read`` contract check failed (REPRO_DEBUG=1)."""

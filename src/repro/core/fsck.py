@@ -9,7 +9,10 @@ allocated).  Detects:
   considers free;
 * **double references** — two objects (or two parts of one) claim the
   same page;
-* **leaks** — allocated pages no object references.
+* **leaks** — allocated pages no object references;
+* **checksum damage** — recorded pages whose stored content no longer
+  matches the page envelope's CRC (silent corruption, e.g. planted by
+  :class:`repro.faults.FaultInjector`).
 
 Used by the test suite after long randomized workloads; also a useful
 debugging aid when developing new update algorithms.
@@ -21,7 +24,7 @@ import dataclasses
 
 from repro.blockbased.manager import BlockBasedManager
 from repro.buddy.allocator import BuddyAllocator
-from repro.core.errors import InvalidArgumentError, ReproError
+from repro.core.errors import AllocationError, InvalidArgumentError
 from repro.core.manager import LargeObjectManager
 from repro.starburst.manager import StarburstManager
 from repro.tree.backed import TreeBackedManager
@@ -35,6 +38,8 @@ class FsckReport:
     doubly_referenced: list[int]
     leaked_data_pages: list[int]
     leaked_meta_pages: list[int]
+    #: Recorded pages whose content fails CRC verification.
+    corrupt_pages: list[int] = dataclasses.field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -44,6 +49,7 @@ class FsckReport:
             or self.doubly_referenced
             or self.leaked_data_pages
             or self.leaked_meta_pages
+            or self.corrupt_pages
         )
 
     def summary(self) -> str:
@@ -54,7 +60,8 @@ class FsckReport:
             f"fsck: {len(self.dangling)} dangling, "
             f"{len(self.doubly_referenced)} double refs, "
             f"{len(self.leaked_data_pages)} leaked data pages, "
-            f"{len(self.leaked_meta_pages)} leaked meta pages"
+            f"{len(self.leaked_meta_pages)} leaked meta pages, "
+            f"{len(self.corrupt_pages)} corrupt pages"
         )
 
 
@@ -141,6 +148,7 @@ def check(
         doubly_referenced=sorted(double),
         leaked_data_pages=leaked_data,
         leaked_meta_pages=leaked_meta,
+        corrupt_pages=env.disk.verify_checksums(),
     )
 
 
@@ -235,7 +243,8 @@ def cli_main(argv: list[str] | None = None) -> int:
 def _is_allocated(allocator: BuddyAllocator, page_id: int) -> bool:
     try:
         space_index, offset = allocator._locate(page_id)
-    except ReproError:
+    except AllocationError:
+        # The page id does not belong to this area at all.
         return False
     return allocator._spaces[space_index].is_block_allocated(offset)
 

@@ -15,15 +15,78 @@ two database areas (Section 4.1):
 Every :meth:`read_pages` / :meth:`write_pages` call models one physical
 access of physically adjacent blocks: it charges exactly one seek plus one
 page-transfer per page through the shared :class:`~repro.disk.iomodel.CostModel`.
+
+Two robustness facilities live at this layer (see ``docs/robustness.md``):
+
+* **Page checksums.**  Every recorded page image carries a CRC-32 in its
+  envelope, computed at write time and verified on every accounted read,
+  so silent corruption raises :class:`~repro.core.errors.ChecksumError`
+  instead of propagating.  Phantom pages store no bytes and therefore
+  carry no checksum; phantom-mode experiment runs are unaffected.
+* **Fault interception.**  A :class:`FaultSite` (implemented by
+  :class:`repro.faults.FaultInjector`) can be installed to inject
+  deterministic crashes, transient read/write faults, and torn multi-page
+  writes at this single choke point for all physical I/O.  Transient
+  faults are retried under the disk's bounded
+  :class:`~repro.disk.iomodel.RetryPolicy`, with each repeat charged as a
+  real physical call and attributed to ``IOStats.retries``.  With no site
+  installed, none of these paths run and the Section 4.1 cost model is
+  bit-identical to a fault-free build.
 """
 
 from __future__ import annotations
 
+import zlib
+from typing import Protocol
+
 from repro.core.config import SystemConfig
-from repro.core.errors import AllocationError
+from repro.core.errors import (
+    AllocationError,
+    ChecksumError,
+    CrashError,
+    InvalidArgumentError,
+    IOFaultError,
+)
 from repro.core.payload import Payload, SizedPayload
-from repro.disk.iomodel import CostModel
+from repro.disk.iomodel import DEFAULT_RETRY_POLICY, CostModel, RetryPolicy
 from repro.lint.contracts import pure_read
+
+
+class FaultSite(Protocol):
+    """Interception interface for injected faults at physical-I/O time.
+
+    Defined here — at the interception point — so :mod:`repro.faults`
+    depends on the disk, never the reverse.  Implementations may raise
+    :class:`~repro.core.errors.CrashError` (the simulated machine dies) or
+    :class:`~repro.core.errors.IOFaultError` (the device reports an error;
+    transient ones are retried by the disk).  ``attempt`` counts retries
+    of the same logical call, starting at 0.
+    """
+
+    def read_attempt(
+        self, disk: "SimulatedDisk", start: int, n_pages: int, attempt: int
+    ) -> None:
+        """Called before a physical read; may raise to inject a fault."""
+
+    def write_attempt(
+        self,
+        disk: "SimulatedDisk",
+        start: int,
+        n_pages: int,
+        record: bool,
+        attempt: int,
+    ) -> int | None:
+        """Called before a physical write; may raise to inject a fault.
+
+        Returning an int ``k`` tears the write: only the first ``k`` pages
+        of the run persist, then the disk raises :class:`CrashError`.
+        Returning ``None`` lets the write proceed normally.
+        """
+
+    def after_write(
+        self, disk: "SimulatedDisk", start: int, n_pages: int, record: bool
+    ) -> None:
+        """Called after a write persisted (e.g. to plant silent corruption)."""
 
 #: Marker stored for pages written in phantom (count-only) mode.
 _PHANTOM = None
@@ -49,6 +112,25 @@ class SimulatedDisk:
         #: Shared length-only page handed out for phantom pages by
         #: :meth:`read_page_views`; immutable, so aliasing is safe.
         self._zero_payload = SizedPayload(config.page_size)
+        #: Page envelope: CRC-32 of every recorded page image, written
+        #: alongside the content and verified on accounted reads.
+        self._checksums: dict[int, int] = {}
+        self._zero_crc = zlib.crc32(self._zero_page)
+        #: Installed fault injector, if any (see :class:`FaultSite`).
+        self._fault_site: FaultSite | None = None
+        #: Latched by the first injected crash: the simulated machine is
+        #: dead, and *nothing* reaches the device — not even unaccounted
+        #: root pokes — until the image is reopened (the fault site is
+        #: uninstalled).  Without the latch, ``finally:``-style cleanup
+        #: in a dying operation would flush post-crash state into the
+        #: image, which a real crash never persists.
+        self._halted = False
+        #: Bounded retry policy for transient injected faults.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        #: While True, :meth:`discard_pages` keeps the bytes of freed
+        #: pages (a real disk retains freed blocks until reuse; crash
+        #: recovery reads them).  Set by armed fault injectors.
+        self.retain_freed = False
 
     # ------------------------------------------------------------------
     # Accounted physical I/O
@@ -63,6 +145,8 @@ class SimulatedDisk:
         which is the normal case for the leaf area of experiment stores.
         """
         self._check_range(start, n_pages)
+        if self._fault_site is not None:
+            self._attempt_read(start, n_pages)
         self.cost.charge_read(n_pages)
         pages = self._pages
         get = pages.get
@@ -76,6 +160,7 @@ class SimulatedDisk:
                 all_phantom = False
             else:
                 any_content = True
+                self._verify_checksum(start + i, content)
         if not any_content:
             if all_phantom:
                 return SizedPayload(n_pages * self.config.page_size)
@@ -97,6 +182,8 @@ class SimulatedDisk:
         happens at all.  Charges the same cost as :meth:`read_pages`.
         """
         self._check_range(start, n_pages)
+        if self._fault_site is not None:
+            self._attempt_read(start, n_pages)
         self.cost.charge_read(n_pages)
         get = self._pages.get
         zero = self._zero_page
@@ -109,6 +196,7 @@ class SimulatedDisk:
             elif content is _ABSENT:
                 views.append(zero)
             else:
+                self._verify_checksum(start + i, content)
                 views.append(content)
         return views
 
@@ -131,30 +219,189 @@ class SimulatedDisk:
                 f"writing {len(data)} bytes into {n_pages} pages of "
                 f"{page_size} bytes each"
             )
+        site = self._fault_site
+        tear_at: int | None = None
+        if site is not None:
+            tear_at = self._attempt_write(site, start, n_pages, record)
         self.cost.charge_write(n_pages)
+        if tear_at is not None:
+            # Torn multi-page write: the device persisted only a prefix of
+            # the run before the simulated machine died mid-transfer.
+            self._store_run(start, n_pages, data, record, limit=tear_at)
+            self._halted = True
+            raise CrashError(
+                f"torn write: only {tear_at} of {n_pages} pages at "
+                f"{start} persisted"
+            )
+        self._store_run(start, n_pages, data, record)
+        if site is not None:
+            site.after_write(self, start, n_pages, record)
+
+    def _store_run(
+        self,
+        start: int,
+        n_pages: int,
+        data: Payload,
+        record: bool,
+        limit: int | None = None,
+    ) -> None:
+        """Persist (a prefix of) a page run, maintaining the checksum map."""
+        page_size = self.config.page_size
+        stop = n_pages if limit is None else min(limit, n_pages)
+        pages = self._pages
+        checksums = self._checksums
         if not record:
-            for i in range(n_pages):
-                self._pages[start + i] = _PHANTOM
+            for i in range(stop):
+                pages[start + i] = _PHANTOM
+                checksums.pop(start + i, None)
         elif isinstance(data, SizedPayload):
             zero = self._zero_page
-            for i in range(n_pages):
-                self._pages[start + i] = zero
+            zero_crc = self._zero_crc
+            for i in range(stop):
+                pages[start + i] = zero
+                checksums[start + i] = zero_crc
         else:
             # Store per-page images straight from the caller's buffer: one
             # copy per page instead of the old pad-whole-buffer-then-slice
             # (which copied the run twice before slicing it a third time).
             view = memoryview(data)
             data_len = len(data)
-            for i in range(n_pages):
+            for i in range(stop):
                 lo = i * page_size
                 if lo >= data_len:
-                    self._pages[start + i] = self._zero_page
+                    image = self._zero_page
+                    crc = self._zero_crc
                 elif lo + page_size <= data_len:
-                    self._pages[start + i] = bytes(view[lo : lo + page_size])
+                    image = bytes(view[lo : lo + page_size])
+                    crc = zlib.crc32(image)
                 else:
-                    self._pages[start + i] = bytes(view[lo:data_len]).ljust(
+                    image = bytes(view[lo:data_len]).ljust(
                         page_size, b"\x00"
                     )
+                    crc = zlib.crc32(image)
+                pages[start + i] = image
+                checksums[start + i] = crc
+
+    # ------------------------------------------------------------------
+    # Fault injection and checksum verification
+    # ------------------------------------------------------------------
+    def install_fault_site(self, site: FaultSite) -> None:
+        """Install a fault injector on this disk's physical I/O paths.
+
+        Only one site may be installed at a time; installing the same
+        object twice is a no-op.
+        """
+        if self._fault_site is not None and self._fault_site is not site:
+            raise InvalidArgumentError(
+                "another fault site is already installed on this disk"
+            )
+        self._fault_site = site
+        self._halted = False
+
+    def clear_fault_site(self) -> None:
+        """Remove any installed fault injector; always safe to call.
+
+        This is the simulation's "reopen the disk image after the crash"
+        step: it also clears the :attr:`halted` latch, so recovery code
+        can read and write the surviving image normally.
+        """
+        self._fault_site = None
+        self._halted = False
+
+    @property
+    def fault_site(self) -> FaultSite | None:
+        """The installed fault injector, if any."""
+        return self._fault_site
+
+    @property
+    def halted(self) -> bool:
+        """True after an injected crash, until the image is reopened."""
+        return self._halted
+
+    def _check_halted(self) -> None:
+        if self._halted:
+            raise CrashError(
+                "simulated machine halted by an injected crash; reopen "
+                "the image (uninstall the fault site) to recover"
+            )
+
+    def _attempt_read(self, start: int, n_pages: int) -> None:
+        """Consult the fault site, retrying transient faults boundedly."""
+        site = self._fault_site
+        if site is None:
+            return
+        self._check_halted()
+        attempt = 0
+        while True:
+            try:
+                site.read_attempt(self, start, n_pages, attempt)
+                return
+            except CrashError:
+                self._halted = True
+                raise
+            except IOFaultError as exc:
+                attempt += 1
+                if not exc.transient or attempt >= self.retry_policy.max_attempts:
+                    raise
+                self.cost.charge_retry_read(n_pages)
+
+    def _attempt_write(
+        self, site: FaultSite, start: int, n_pages: int, record: bool
+    ) -> int | None:
+        """Consult the fault site before a write; returns a tear prefix."""
+        self._check_halted()
+        attempt = 0
+        while True:
+            try:
+                return site.write_attempt(self, start, n_pages, record, attempt)
+            except CrashError:
+                self._halted = True
+                raise
+            except IOFaultError as exc:
+                attempt += 1
+                if not exc.transient or attempt >= self.retry_policy.max_attempts:
+                    raise
+                self.cost.charge_retry_write(n_pages)
+
+    def _verify_checksum(self, page_id: int, content: bytes) -> None:
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(content) != expected:
+            raise ChecksumError(page_id)
+
+    def corrupt_page(self, page_id: int, bit_index: int) -> None:
+        """Flip one bit of a recorded page *without* updating its checksum.
+
+        This is the silent-corruption primitive used by
+        :class:`repro.faults.FaultInjector` (and tests): the stored image
+        changes but the envelope checksum does not, so the next accounted
+        read raises :class:`~repro.core.errors.ChecksumError` and
+        :meth:`verify_checksums` localizes the page.
+        """
+        content = self._pages.get(page_id)
+        if not isinstance(content, bytes):
+            raise InvalidArgumentError(
+                f"page {page_id} has no recorded content to corrupt"
+            )
+        byte_index, bit = divmod(bit_index % (len(content) * 8), 8)
+        corrupted = bytearray(content)
+        corrupted[byte_index] ^= 1 << bit
+        self._pages[page_id] = bytes(corrupted)
+
+    @pure_read
+    def verify_checksums(self) -> list[int]:
+        """Page ids whose stored content fails verification (no I/O cost).
+
+        The whole-disk scan behind ``repro-experiments fsck``: phantom and
+        never-written pages have no checksum and are skipped.
+        """
+        bad = []
+        for page_id, content in self._pages.items():
+            if content is None:
+                continue
+            expected = self._checksums.get(page_id)
+            if expected is not None and zlib.crc32(content) != expected:
+                bad.append(page_id)
+        return sorted(bad)
 
     # ------------------------------------------------------------------
     # Unaccounted access (verification / in-memory bookkeeping only)
@@ -196,15 +443,21 @@ class SimulatedDisk:
     def poke_pages(self, start: int, data: bytes) -> None:
         """Overwrite page contents without charging any I/O cost.
 
-        Used only by tests to set up scenarios; production code paths always
-        go through :meth:`write_pages`.
+        Used by tests to set up scenarios and by the managers for the
+        uncharged root/descriptor image writes (the paper does not bill
+        them as large-object I/O).  A halted disk refuses pokes like any
+        other write: the commit-point image update must not survive a
+        crash that interrupted the operation before it.
         """
+        self._check_halted()
         page_size = self.config.page_size
         n_pages = -(-len(data) // page_size)
         self._check_range(start, n_pages)
         padded = bytes(data).ljust(n_pages * page_size, b"\x00")
         for i in range(n_pages):
-            self._pages[start + i] = padded[i * page_size : (i + 1) * page_size]
+            image = padded[i * page_size : (i + 1) * page_size]
+            self._pages[start + i] = image
+            self._checksums[start + i] = zlib.crc32(image)
 
     @pure_read
     def was_written(self, page_id: int) -> bool:
@@ -212,10 +465,20 @@ class SimulatedDisk:
         return page_id in self._pages
 
     def discard_pages(self, start: int, n_pages: int) -> None:
-        """Forget page contents (called when space is freed)."""
+        """Forget page contents (called when space is freed).
+
+        While :attr:`retain_freed` is set (a fault injector is armed), the
+        bytes and checksums are kept: a real disk retains freed blocks'
+        content until reuse, and crash recovery reads it.  Discarding is a
+        memory-saving artifact of the simulation, not device behaviour.
+        """
         self._check_range(start, n_pages)
+        self._check_halted()
+        if self.retain_freed:
+            return
         for i in range(n_pages):
             self._pages.pop(start + i, None)
+            self._checksums.pop(start + i, None)
 
     @property
     def pages_in_use(self) -> int:

@@ -32,12 +32,19 @@ class IOStats:
         Number of physical I/O calls (each one charges a seek).
     pages_read / pages_written:
         Pages transferred by those calls.
+    retries:
+        Physical calls that were *repeats* of a failed attempt (transient
+        injected faults, see :mod:`repro.faults`).  Retried attempts are
+        also counted in ``read_calls``/``write_calls`` — this counter only
+        attributes how many of those calls were fault-recovery overhead.
+        Always zero when no faults are armed.
     """
 
     read_calls: int = 0
     write_calls: int = 0
     pages_read: int = 0
     pages_written: int = 0
+    retries: int = 0
 
     @property
     def io_calls(self) -> int:
@@ -55,6 +62,7 @@ class IOStats:
         self.write_calls += other.write_calls
         self.pages_read += other.pages_read
         self.pages_written += other.pages_written
+        self.retries += other.retries
 
     def copy(self) -> "IOStats":
         """Return an independent snapshot of the current counters."""
@@ -67,6 +75,7 @@ class IOStats:
             write_calls=self.write_calls - earlier.write_calls,
             pages_read=self.pages_read - earlier.pages_read,
             pages_written=self.pages_written - earlier.pages_written,
+            retries=self.retries - earlier.retries,
         )
 
     def elapsed_ms(self, config: SystemConfig) -> float:
@@ -74,6 +83,29 @@ class IOStats:
         seek = self.io_calls * config.seek_ms
         transfer = self.pages_transferred * config.transfer_ms_per_page
         return seek + transfer
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry policy for transient injected I/O faults.
+
+    A failed attempt is retried up to ``max_attempts - 1`` times; each
+    retried attempt is charged as a full physical call (the device re-seeks
+    and re-transfers — the simulated analogue of retry backoff) and is
+    additionally counted in :attr:`IOStats.retries`.  With no faults armed
+    the policy is never consulted, so the cost model of Section 4.1 is
+    unchanged.
+    """
+
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidArgumentError("max_attempts must be at least 1")
+
+
+#: Policy used by every disk unless a test installs a different one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 class CostModel:
@@ -101,6 +133,20 @@ class CostModel:
             raise InvalidArgumentError("a physical write must transfer at least one page")
         self.stats.write_calls += 1
         self.stats.pages_written += n_pages
+
+    def charge_retry_read(self, n_pages: int) -> None:
+        """Charge one *retried* read attempt (a transient fault fired).
+
+        The repeat is a real physical call — seek plus transfer — and is
+        additionally attributed to :attr:`IOStats.retries`.
+        """
+        self.charge_read(n_pages)
+        self.stats.retries += 1
+
+    def charge_retry_write(self, n_pages: int) -> None:
+        """Charge one *retried* write attempt (a transient fault fired)."""
+        self.charge_write(n_pages)
+        self.stats.retries += 1
 
     def snapshot(self) -> IOStats:
         """Capture the counters, for later use with :meth:`IOStats.delta`."""

@@ -8,6 +8,7 @@ Usage::
     repro-experiments --list              # show experiments and scales
     repro-experiments --plot fig5         # add an ASCII chart rendering
     repro-experiments fsck --scheme eos   # workload + consistency check
+    repro-experiments chaos --scale tiny  # exhaustive crash-sweep check
     REPRO_SCALE=paper repro-experiments   # the paper's full 10 MB scale
 """
 
@@ -69,6 +70,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.fsck import cli_main
 
         return cli_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Exhaustive crash-sweep subcommand; see repro.recovery.sweep.
+        from repro.recovery.sweep import cli_main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -94,6 +100,26 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "worker processes for the experiment grid (default: 1, "
             "fully serial)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --jobs, times a grid point lost to a worker failure is "
+            "re-fanned out before falling back to serial (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --jobs, per-point deadline; a point that exceeds it is "
+            "computed serially and the pool is rebuilt (default: none)"
         ),
     )
     parser.add_argument(
@@ -126,9 +152,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs > 1:
         # Warm the memo caches from worker processes; the serial assembly
         # below then renders from cached results, bit-identically.
-        from repro.experiments.parallel import precompute
+        from repro.experiments.parallel import (
+            DEFAULT_RETRIES,
+            DegradationLog,
+            precompute,
+        )
 
-        precompute(names, jobs=args.jobs)
+        log = DegradationLog()
+        precompute(
+            names,
+            jobs=args.jobs,
+            retries=(
+                DEFAULT_RETRIES if args.retries is None else args.retries
+            ),
+            timeout_s=args.timeout,
+            log=log,
+        )
+        if log.degraded:
+            print(log.summary(), file=sys.stderr)
     for name in names:
         print(run(name))
         if args.plot and name in PLOTTABLE:

@@ -20,12 +20,25 @@ that in three steps:
    run — the invariance contract checked by ``tests/test_parallel.py``.
 
 :func:`precompute` bundles the three steps for the CLI's ``--jobs N``.
+
+Because every point is a pure function of its :class:`GridPoint`, worker
+failures are recoverable by recomputation: :func:`run_grid` degrades
+gracefully instead of aborting the whole grid.  A crashed worker process
+(the executor breaks), a worker that exceeds the per-point ``timeout_s``,
+or a point whose computation raises in the worker is retried up to
+``retries`` times on a fresh pool; past that, the point is computed
+serially in the parent process, which is authoritative — if *that*
+raises, the error is real and propagates.  Every incident is recorded in
+a structured :class:`DegradationLog` so a degraded run is still
+bit-identical in its results but visibly degraded in its report.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Sequence
+import dataclasses
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
 
 from repro.core.errors import InvalidArgumentError
 from repro.experiments import (
@@ -73,19 +86,176 @@ def compute_point(point: GridPoint) -> Any:
     raise InvalidArgumentError(f"unknown grid point kind {point.kind!r}")
 
 
-def run_grid(points: Sequence[GridPoint], jobs: int = 1) -> list[Any]:
+#: Times a failed point is re-fanned to workers before serial fallback.
+DEFAULT_RETRIES = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationEvent:
+    """One worker-side incident the runner healed."""
+
+    point_index: int
+    point_label: str
+    attempt: int
+    #: "worker-crash" (the pool broke), "timeout" (per-point deadline
+    #: exceeded), "error" (the computation raised in the worker), or
+    #: "cancelled" (collateral of recovering the pool).
+    kind: str
+    detail: str
+    #: What the runner did: "retried" or "serial-fallback".
+    action: str
+
+
+@dataclasses.dataclass
+class DegradationLog:
+    """Structured record of everything the parallel runner healed."""
+
+    events: list[DegradationEvent] = dataclasses.field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run needed any retry or fallback at all."""
+        return bool(self.events)
+
+    def add(
+        self,
+        point_index: int,
+        point_label: str,
+        attempt: int,
+        kind: str,
+        detail: str,
+        action: str,
+    ) -> None:
+        self.events.append(
+            DegradationEvent(
+                point_index, point_label, attempt, kind, detail, action
+            )
+        )
+
+    def summary(self) -> str:
+        """Multi-line human rendering (empty string when not degraded)."""
+        if not self.events:
+            return ""
+        fallbacks = sum(
+            1 for e in self.events if e.action == "serial-fallback"
+        )
+        lines = [
+            f"parallel runner degraded: {len(self.events)} incident(s), "
+            f"{fallbacks} point(s) computed serially"
+        ]
+        lines.extend(
+            f"  [{event.kind}] point {event.point_index} "
+            f"({event.point_label}) attempt {event.attempt}: "
+            f"{event.detail} -> {event.action}"
+            for event in self.events
+        )
+        return "\n".join(lines)
+
+
+def _point_label(point: GridPoint) -> str:
+    return f"{point.kind}:{point.scheme}@{point.scale_name}"
+
+
+def run_grid(
+    points: Sequence[GridPoint],
+    jobs: int = 1,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float | None = None,
+    compute: Callable[[GridPoint], Any] = compute_point,
+    log: DegradationLog | None = None,
+) -> list[Any]:
     """Compute every grid point, returning results in point order.
 
     ``jobs <= 1`` computes in-process; otherwise a process pool of up to
     ``jobs`` workers is used (never more workers than points).  Either
     way the result list lines up index-for-index with ``points``.
+
+    The parallel path self-heals: points lost to a crashed worker, a
+    per-point timeout, or a worker-side exception are re-submitted up to
+    ``retries`` times (on a fresh pool when the old one broke) and then
+    computed serially in the parent — every incident lands in ``log``.
+    Results are pure functions of their points, so a healed run's output
+    is bit-identical to an undisturbed one.
     """
     points = list(points)
+    if log is None:
+        log = DegradationLog()
     if jobs <= 1 or len(points) <= 1:
-        return [compute_point(point) for point in points]
+        return [compute(point) for point in points]
     workers = min(jobs, len(points))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(compute_point, points, chunksize=1))
+    results: list[Any] = [None] * len(points)
+    attempts = [0] * len(points)
+    pending = list(range(len(points)))
+    executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    try:
+        while pending:
+            retry_next: list[int] = []
+            broken = False
+            futures: dict[int, concurrent.futures.Future[Any]] = {}
+            try:
+                for i in pending:
+                    futures[i] = executor.submit(compute, points[i])
+            except concurrent.futures.BrokenExecutor:
+                broken = True
+            for i in pending:
+                label = _point_label(points[i])
+                future = futures.get(i)
+                if future is None:
+                    kind, detail = (
+                        "worker-crash",
+                        "executor already broken at submit",
+                    )
+                else:
+                    try:
+                        results[i] = future.result(timeout=timeout_s)
+                        continue
+                    except concurrent.futures.TimeoutError:
+                        # A hung worker cannot be preempted; the pool is
+                        # rebuilt and the point computed serially now —
+                        # re-fanning a point that just hung risks hanging
+                        # the whole run again.
+                        broken = True
+                        log.add(
+                            i, label, attempts[i], "timeout",
+                            f"no result within {timeout_s}s",
+                            "serial-fallback",
+                        )
+                        results[i] = compute(points[i])
+                        continue
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        kind = "worker-crash"
+                        detail = str(exc) or "worker process died"
+                    except concurrent.futures.CancelledError:
+                        kind = "cancelled"
+                        detail = "future cancelled during pool recovery"
+                    # The worker re-raises whatever the point's compute
+                    # raised — including injected fault exceptions from a
+                    # poisoned worker; recomputing is safe (points are
+                    # pure) and the serial fallback is authoritative.
+                    except Exception as exc:  # repro-lint: disable=FAULT001
+                        kind = "error"
+                        detail = f"{type(exc).__name__}: {exc}"
+                attempts[i] += 1
+                if attempts[i] <= retries:
+                    log.add(i, label, attempts[i], kind, detail, "retried")
+                    retry_next.append(i)
+                else:
+                    log.add(
+                        i, label, attempts[i], kind, detail,
+                        "serial-fallback",
+                    )
+                    results[i] = compute(points[i])
+            if broken:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                )
+            pending = retry_next
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results
 
 
 def prime_results(
@@ -125,18 +295,27 @@ def prime_results(
 
 
 def precompute(
-    names: list[str], jobs: int, scale: Scale | None = None
+    names: list[str],
+    jobs: int,
+    scale: Scale | None = None,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float | None = None,
+    log: DegradationLog | None = None,
 ) -> int:
     """Fan the selected experiments' grids out and warm the memo caches.
 
     Returns the number of distinct points computed.  After this, running
     the experiments serially (the normal registry path) reuses every
     primed result, so report text and cost counters match a purely serial
-    run bit for bit.
+    run bit for bit.  Worker failures degrade per :func:`run_grid`; pass
+    a :class:`DegradationLog` to see what was healed.
     """
     scale = scale or resolve_scale()
     points = full_grid(names, scale)
-    results = run_grid(points, jobs=jobs)
+    results = run_grid(
+        points, jobs=jobs, retries=retries, timeout_s=timeout_s, log=log
+    )
     prime_results(points, results)
     return len(points)
 

@@ -539,3 +539,86 @@ class PhantomPayloadRule(Rule):
                             "SizedPayload(n) instead",
                         )
                         break
+
+
+@register
+class FaultHandlingRule(Rule):
+    """FAULT001: crash/fault exceptions propagate to the fault layers.
+
+    :class:`~repro.core.errors.CrashError` means the simulated machine
+    died; :class:`~repro.core.errors.IOFaultError` means the device
+    failed past its bounded retry budget.  Both are *verdicts*, not
+    conditions to handle: a ``except CrashError`` buried in a manager —
+    or a broad ``except Exception`` / ``except ReproError`` / bare
+    ``except`` that swallows them incidentally — would absorb an injected
+    crash mid-operation and invalidate every guarantee the crash sweep
+    (:mod:`repro.recovery.sweep`) verifies.  Only the fault-injection and
+    recovery layers (``repro.faults``, ``repro.recovery``) may catch
+    them.  Handlers that re-raise with a bare ``raise`` are exempt
+    (cleanup-and-propagate), as are sites suppressed with
+    ``# repro-lint: disable=FAULT001`` (e.g. the parallel runner's
+    worker-failure containment, which recomputes the point instead of
+    inventing a result).
+    """
+
+    rule_id = "FAULT001"
+    summary = (
+        "only repro.faults / repro.recovery may catch CrashError, "
+        "IOFaultError, or exception types broad enough to swallow them"
+    )
+
+    _fault_names = frozenset({"CrashError", "IOFaultError"})
+    _broad_names = frozenset({"Exception", "BaseException", "ReproError"})
+    _allowed_layers = frozenset({"faults", "recovery"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.layer in self._allowed_layers:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._reraises(node):
+                continue
+            named, broad = self._classify(node.type)
+            if named:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"catching {', '.join(sorted(named))} outside the "
+                    "fault/recovery layers; injected faults must "
+                    "propagate (or re-raise with a bare `raise`)",
+                )
+            elif broad:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"broad `except {broad}` can swallow an injected "
+                    "CrashError/IOFaultError; catch the specific "
+                    "expected types or re-raise with a bare `raise`",
+                )
+
+    def _classify(
+        self, spec: ast.expr | None
+    ) -> tuple[set[str], str | None]:
+        """(fault types caught by name, broad-catch description or None)."""
+        if spec is None:
+            return set(), "<bare>"
+        names = set()
+        exprs = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        for expr in exprs:
+            if isinstance(expr, ast.Name):
+                names.add(expr.id)
+            elif isinstance(expr, ast.Attribute):
+                names.add(expr.attr)
+        broad = names & self._broad_names
+        return names & self._fault_names, (
+            ", ".join(sorted(broad)) if broad else None
+        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True when the handler body re-raises the caught exception."""
+        return any(
+            isinstance(child, ast.Raise) and child.exc is None
+            for child in ast.walk(handler)
+        )

@@ -14,6 +14,13 @@ While armed, frees do not discard page content (a real disk keeps the
 bytes of freed blocks; discarding them is a memory-saving artifact of
 the simulation).  The ``rebuild_*`` functions then reconstruct an
 object's content purely from serialized disk images — the recovery path.
+
+The injector is a thin veneer over :mod:`repro.faults`: arming installs
+a :class:`~repro.faults.FaultInjector` through the disk's sanctioned
+:class:`~repro.disk.disk.FaultSite` hook (the historical implementation
+swapped the disk's bound methods, which a mid-sweep exception could
+leave permanently patched).  ``disarm`` — called by ``__exit__`` no
+matter how the block exits — always restores the clean disk.
 """
 
 from __future__ import annotations
@@ -22,8 +29,19 @@ from repro.blockbased.manager import BlockBasedManager
 from repro.buddy.area import DATA_AREA_BASE, META_AREA_BASE
 from repro.core.env import StorageEnvironment
 from repro.core.errors import CrashError, InvalidArgumentError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, at
 from repro.starburst.descriptor import LongFieldDescriptor
 from repro.tree.node import IndexNode
+
+__all__ = [
+    "CrashError",
+    "CrashInjector",
+    "rebuild_blockbased_content",
+    "rebuild_content",
+    "rebuild_starburst_content",
+    "rebuild_tree_content",
+]
 
 
 class CrashInjector:
@@ -31,10 +49,7 @@ class CrashInjector:
 
     def __init__(self, env: StorageEnvironment) -> None:
         self.env = env
-        self._budget: int | None = None
-        self._installed = False
-        self._original_write = None
-        self._original_discard = None
+        self._injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------
     # Arming
@@ -43,70 +58,47 @@ class CrashInjector:
         """Crash on the (N+1)-th physical write call from now."""
         if writes_before_crash < 0:
             raise InvalidArgumentError("write budget must be non-negative")
-        self._budget = writes_before_crash
-        self._install()
+        self.disarm()
+        plan = FaultPlan(crash_writes=at(writes_before_crash + 1))
+        self._injector = FaultInjector(self.env, plan).install()
 
     def disarm(self) -> None:
         """Remove the injection; the disk behaves normally again."""
-        self._budget = None
-        self._uninstall()
+        if self._injector is not None:
+            self._injector.uninstall()
+            self._injector = None
 
     def __enter__(self) -> "CrashInjector":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
+        # Unconditional teardown: a raising sweep iteration cannot leave
+        # the disk armed.
         self.disarm()
-
-    # ------------------------------------------------------------------
-    # Interception
-    # ------------------------------------------------------------------
-    def _install(self) -> None:
-        if self._installed:
-            return
-        disk = self.env.disk
-        self._original_write = disk.write_pages
-        self._original_discard = disk.discard_pages
-
-        def write_pages(start, n_pages, data, record=True):
-            if self._budget is not None:
-                if self._budget == 0:
-                    raise CrashError(
-                        f"simulated crash before writing page {start}"
-                    )
-                self._budget -= 1
-            return self._original_write(start, n_pages, data, record=record)
-
-        def discard_pages(start, n_pages):
-            # Freed blocks keep their bytes on a real disk until reused;
-            # retain them so recovery can read pre-crash content.
-            return None
-
-        disk.write_pages = write_pages
-        disk.discard_pages = discard_pages
-        self._installed = True
-
-    def _uninstall(self) -> None:
-        if not self._installed:
-            return
-        disk = self.env.disk
-        disk.write_pages = self._original_write
-        disk.discard_pages = self._original_discard
-        self._installed = False
 
 
 # ----------------------------------------------------------------------
 # Recovery: rebuild object content purely from disk images
 # ----------------------------------------------------------------------
 def rebuild_tree_content(
-    env: StorageEnvironment, root_page_id: int, leaf_alloc_pages
+    env: StorageEnvironment,
+    root_page_id: int,
+    leaf_alloc_pages,
+    runs: list[tuple[int, int]] | None = None,
 ) -> bytes:
-    """Reconstruct an ESM/EOS object from its on-disk tree image."""
+    """Reconstruct an ESM/EOS object from its on-disk tree image.
+
+    When ``runs`` is given, every page run the image references —
+    index pages and leaf extents alike — is appended to it as a
+    ``(first page id, page count)`` pair, for structural verification
+    of the image (see :mod:`repro.recovery.sweep`).
+    """
     pieces: list[bytes] = []
-    _walk_node(env, root_page_id, True, leaf_alloc_pages, pieces)
+    _walk_node(env, root_page_id, True, leaf_alloc_pages, pieces, runs)
     return b"".join(pieces)
 
 
-def _walk_node(env, page_id, is_root, leaf_alloc_pages, pieces) -> None:
+def _walk_node(env, page_id, is_root, leaf_alloc_pages, pieces, runs) -> None:
     image = env.disk.peek_pages(page_id, 1)
     node, _total, _rightmost = IndexNode.deserialize(
         image,
@@ -116,54 +108,68 @@ def _walk_node(env, page_id, is_root, leaf_alloc_pages, pieces) -> None:
         meta_base=META_AREA_BASE,
         leaf_alloc_pages=leaf_alloc_pages,
     )
+    if runs is not None:
+        runs.append((page_id, 1))
     for entry in node.entries:
         if node.is_leaf_parent:
             extent = entry.ref
-            raw = env.disk.peek_pages(
-                extent.page_id, extent.used_pages(env.config.page_size)
-            )
+            used = extent.used_pages(env.config.page_size)
+            raw = env.disk.peek_pages(extent.page_id, used)
             pieces.append(raw[: extent.used_bytes])
+            if runs is not None:
+                runs.append((extent.page_id, used))
         else:
-            _walk_node(env, entry.ref, False, leaf_alloc_pages, pieces)
+            _walk_node(env, entry.ref, False, leaf_alloc_pages, pieces, runs)
 
 
 def rebuild_starburst_content(
-    env: StorageEnvironment, descriptor_page: int
+    env: StorageEnvironment,
+    descriptor_page: int,
+    runs: list[tuple[int, int]] | None = None,
 ) -> bytes:
     """Reconstruct a long field from its on-disk descriptor image."""
     image = env.disk.peek_pages(descriptor_page, 1)
     descriptor = LongFieldDescriptor.deserialize(
         image, descriptor_page, env.config, DATA_AREA_BASE
     )
+    if runs is not None:
+        runs.append((descriptor_page, 1))
     pieces = []
     for segment in descriptor.segments:
-        raw = env.disk.peek_pages(
-            segment.page_id, segment.used_pages(env.config.page_size)
-        )
+        used = segment.used_pages(env.config.page_size)
+        raw = env.disk.peek_pages(segment.page_id, used)
         pieces.append(raw[: segment.used_bytes])
+        if runs is not None:
+            runs.append((segment.page_id, used))
     return b"".join(pieces)
 
 
 def rebuild_blockbased_content(
-    env: StorageEnvironment, directory_page: int
+    env: StorageEnvironment,
+    directory_page: int,
+    runs: list[tuple[int, int]] | None = None,
 ) -> bytes:
     """Reconstruct a block-based object from its directory chain."""
     pieces = []
     for page in BlockBasedManager.load_directory_chain(env, directory_page):
         raw = env.disk.peek_pages(page.page_id, 1)
         pieces.append(raw[: page.used_bytes])
+        if runs is not None:
+            runs.append((page.page_id, 1))
     return b"".join(pieces)
 
 
-def rebuild_content(store, oid: int) -> bytes:
+def rebuild_content(
+    store, oid: int, runs: list[tuple[int, int]] | None = None
+) -> bytes:
     """Reconstruct any scheme's object content from disk images only."""
     scheme = store.scheme
     if scheme in ("esm", "eos"):
         return rebuild_tree_content(
-            store.env, oid, store.manager._leaf_alloc_pages
+            store.env, oid, store.manager._leaf_alloc_pages, runs
         )
     if scheme == "starburst":
-        return rebuild_starburst_content(store.env, oid)
+        return rebuild_starburst_content(store.env, oid, runs)
     if scheme == "blockbased":
-        return rebuild_blockbased_content(store.env, oid)
+        return rebuild_blockbased_content(store.env, oid, runs)
     raise InvalidArgumentError(f"unknown scheme {scheme!r}")

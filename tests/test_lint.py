@@ -498,3 +498,94 @@ class TestRuntimeContracts:
 def test_shipped_tree_is_clean():
     violations = lint_paths([REPO_SRC])
     assert violations == [], "\n".join(v.format() for v in violations)
+
+
+# ----------------------------------------------------------------------
+# FAULT001: crash/fault exceptions propagate to the fault layers
+# ----------------------------------------------------------------------
+class TestFaultHandlingRule:
+    def test_catching_crash_error_in_manager_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/esm/bad.py", """\
+            def sloppy(store, oid, data):
+                try:
+                    store.append(oid, data)
+                except CrashError:
+                    pass
+            """)
+        violations = run_rule("FAULT001", path)
+        assert [v.rule_id for v in violations] == ["FAULT001"]
+        assert "CrashError" in violations[0].message
+
+    def test_catching_fault_error_in_tuple_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/buffer/bad.py", """\
+            def read(pool, page):
+                try:
+                    return pool.fix(page)
+                except (KeyError, IOFaultError):
+                    return None
+            """)
+        assert [v.rule_id for v in run_rule("FAULT001", path)] == ["FAULT001"]
+
+    def test_broad_except_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/segio/bad.py", """\
+            def safe_write(segio, page, data):
+                try:
+                    segio.write_pages(page, data)
+                except Exception:
+                    return False
+            """)
+        violations = run_rule("FAULT001", path)
+        assert [v.rule_id for v in violations] == ["FAULT001"]
+        assert "broad" in violations[0].message
+
+    def test_bare_except_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/tree/bad.py", """\
+            def read(tree, pos):
+                try:
+                    return tree.locate(pos)
+                except:
+                    return None
+            """)
+        assert [v.rule_id for v in run_rule("FAULT001", path)] == ["FAULT001"]
+
+    def test_reraising_handler_is_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/records/ok.py", """\
+            def guarded(store):
+                try:
+                    store.flush()
+                except Exception:
+                    store.rollback()
+                    raise
+            """)
+        assert run_rule("FAULT001", path) == []
+
+    def test_fault_and_recovery_layers_may_catch(self, tmp_path):
+        for layer in ("faults", "recovery"):
+            path = write(tmp_path, f"repro/{layer}/ok.py", """\
+                def sweep_point(store, oid, data):
+                    try:
+                        store.append(oid, data)
+                    except CrashError:
+                        return "crashed"
+                """)
+            assert run_rule("FAULT001", path) == []
+
+    def test_specific_expected_types_are_fine(self, tmp_path):
+        path = write(tmp_path, "repro/core/ok.py", """\
+            def lookup(allocator, page):
+                try:
+                    return allocator._locate(page)
+                except AllocationError:
+                    return None
+            """)
+        assert run_rule("FAULT001", path) == []
+
+    def test_suppression_comment_respected(self, tmp_path):
+        path = write(tmp_path, "repro/experiments/ok.py", """\
+            def contain(future):
+                try:
+                    return future.result()
+                except Exception as exc:  # repro-lint: disable=FAULT001
+                    return exc
+            """)
+        assert run_rule("FAULT001", path) == []

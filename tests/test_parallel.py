@@ -156,3 +156,132 @@ class TestCLIJobs:
         parallel.clear_caches()
         assert main(["--jobs", "2", "fig5"]) == 0
         assert capsys.readouterr().out == serial_out
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: crashed workers, hangs, poisoned computations
+# ----------------------------------------------------------------------
+import os
+import time
+
+
+def _kill_first_worker(point):
+    """Compute wrapper that hard-kills the first worker to run a point.
+
+    The marker file (path via environment, so it survives the fork into
+    workers) ensures exactly one suicide; retries compute normally.
+    Module-level so it pickles into worker processes.
+    """
+    marker = os.environ["REPRO_TEST_KILL_MARKER"]
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return parallel.compute_point(point)
+
+
+def _fail_in_workers(point):
+    """Compute wrapper that raises in every worker but works in-parent."""
+    if os.getpid() != int(os.environ["REPRO_TEST_PARENT_PID"]):
+        raise ValueError("poisoned worker")
+    return parallel.compute_point(point)
+
+
+def _hang_in_workers(point):
+    """Compute wrapper that hangs in workers but works in-parent."""
+    if os.getpid() != int(os.environ["REPRO_TEST_PARENT_PID"]):
+        time.sleep(3)
+    return parallel.compute_point(point)
+
+
+class TestDegradation:
+    def test_killed_worker_heals_bit_identically(self, tmp_path, monkeypatch):
+        """A worker dying mid-grid breaks the pool; the runner retries on
+        a fresh pool and the final results match a serial run exactly."""
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        points = grid_for("tables23")
+        serial = parallel.run_grid(points, jobs=1)
+        log = parallel.DegradationLog()
+        healed = parallel.run_grid(
+            points, jobs=2, compute=_kill_first_worker, log=log
+        )
+        assert healed == serial
+        assert marker.exists()
+        assert log.degraded
+        assert any(e.kind == "worker-crash" for e in log.events)
+        assert all(e.action == "retried" for e in log.events)
+        assert "degraded" in log.summary()
+
+    def test_timeout_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+        points = grid_for("tables23")[:2]
+        serial = parallel.run_grid(points, jobs=1)
+        log = parallel.DegradationLog()
+        healed = parallel.run_grid(
+            points,
+            jobs=2,
+            timeout_s=0.3,
+            compute=_hang_in_workers,
+            log=log,
+        )
+        assert healed == serial
+        assert any(e.kind == "timeout" for e in log.events)
+        # Timeouts are not re-fanned: a point that just hung a worker
+        # goes straight to the authoritative serial path.
+        assert all(
+            e.action == "serial-fallback"
+            for e in log.events
+            if e.kind == "timeout"
+        )
+
+    def test_poisoned_worker_exhausts_retries_then_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+        points = grid_for("tables23")[:2]
+        serial = parallel.run_grid(points, jobs=1)
+        log = parallel.DegradationLog()
+        healed = parallel.run_grid(
+            points, jobs=2, retries=1, compute=_fail_in_workers, log=log
+        )
+        assert healed == serial
+        for index in range(len(points)):
+            mine = [e for e in log.events if e.point_index == index]
+            assert [e.action for e in mine] == ["retried", "serial-fallback"]
+            assert all(e.kind == "error" for e in mine)
+            assert all("ValueError" in e.detail for e in mine)
+
+    def test_degraded_report_text_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: a grid healed after a worker kill primes the memo
+        caches and the rendered report matches the serial text exactly."""
+        name = "tables23"
+        serial_text = run(name)
+        parallel.clear_caches()
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        points = grid_for(name)
+        log = parallel.DegradationLog()
+        results = parallel.run_grid(
+            points, jobs=2, compute=_kill_first_worker, log=log
+        )
+        parallel.prime_results(points, results)
+        assert run(name) == serial_text
+        assert log.degraded
+
+    def test_undisturbed_parallel_run_logs_nothing(self):
+        points = grid_for("tables23")[:2]
+        log = parallel.DegradationLog()
+        parallel.run_grid(points, jobs=2, log=log)
+        assert not log.degraded
+        assert log.summary() == ""
+
+    def test_cli_accepts_retry_and_timeout_flags(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig5"]) == 0
+        serial_out = capsys.readouterr().out
+        parallel.clear_caches()
+        assert main(
+            ["--jobs", "2", "--retries", "1", "--timeout", "60", "fig5"]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
