@@ -39,8 +39,14 @@ from repro.experiments.common import resolve_scale
 
 #: Schema version of the emitted JSON.  Version 2 qualifies every point
 #: name with its scale ("tiny/build/esm") so one document can hold the
-#: grid at several scales; version-1 documents used bare names.
-FORMAT_VERSION = 2
+#: grid at several scales; version-1 documents used bare names.  Version
+#: 3 optionally adds a per-point "spans" phase summary (``--spans``);
+#: version-2 readers can still consume every other field unchanged.
+FORMAT_VERSION = 3
+
+#: Oldest format whose point names are scale-qualified; baselines older
+#: than this cannot match any current point name.
+QUALIFIED_NAMES_VERSION = 2
 
 #: The perf trajectory starts at PR 2 (when the harness was introduced).
 FIRST_BENCH_NUMBER = 2
@@ -228,6 +234,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--spans",
+        action="store_true",
+        help=(
+            "embed a per-phase repro.obs span summary per point in the "
+            "JSON (format 3), collected from one extra traced pass so "
+            "the timed passes — and wall_s — stay untraced"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -258,7 +273,10 @@ def main(argv: list[str] | None = None) -> int:
     points_by_scale: list[tuple[str, list[BenchPoint]]] = []
     for scale_name in scale_names:
         points = run_bench(
-            resolve_scale(scale_name), repeat=args.repeat, only=only
+            resolve_scale(scale_name),
+            repeat=args.repeat,
+            only=only,
+            traced=args.spans,
         )
         print(f"scale: {scale_name}")
         print(_format_points(points))
@@ -285,7 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         with open(args.check, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        if baseline.get("version", 1) < FORMAT_VERSION:
+        if baseline.get("version", 1) < QUALIFIED_NAMES_VERSION:
             print(
                 f"warning: baseline {args.check} uses format "
                 f"{baseline.get('version', 1)} (unqualified point names); "

@@ -17,10 +17,13 @@ committed baseline.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
+from typing import ContextManager
 
 from repro.core.api import LargeObjectStore
+from repro.core.config import SystemConfig
 from repro.disk.iomodel import IOStats
 from repro.experiments.common import (
     KB,
@@ -29,6 +32,8 @@ from repro.experiments.common import (
     make_store,
 )
 from repro.experiments.random_ops import WORKLOAD_SEED
+from repro.obs.runtime import installed
+from repro.obs.tracer import Tracer
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.runner import WorkloadRunner
 
@@ -65,7 +70,13 @@ STANDARD_GRID = (
 
 @dataclasses.dataclass
 class BenchPoint:
-    """One timed measurement of the standard grid."""
+    """One timed measurement of the standard grid.
+
+    ``spans`` is the optional per-phase tracing summary recorded by
+    ``repro-bench --spans`` (bench JSON format 3); it is dropped from the
+    JSON entirely when the point was measured untraced, so format-2
+    readers see unchanged documents.
+    """
 
     name: str
     wall_s: float
@@ -73,14 +84,88 @@ class BenchPoint:
     io_calls: int
     pages: int
     pool_hit_rate: float
+    spans: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready representation."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if data["spans"] is None:
+            del data["spans"]
+        return data
+
+
+def _ambient(tracer: Tracer | None) -> ContextManager[object]:
+    """Install ``tracer`` ambiently, or do nothing when untraced."""
+    if tracer is None:
+        return contextlib.nullcontext()
+    return installed(tracer)
+
+
+def _phase(tracer: Tracer | None, name: str) -> ContextManager[object]:
+    """Open a bench phase span (``bench.setup`` / ``bench.measure``)."""
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(name)
+
+
+def span_summary(tracer: Tracer, config: SystemConfig) -> dict[str, object]:
+    """Fold a bench point's trace into the compact per-phase summary.
+
+    For each top-level ``bench.*`` phase span: total I/O calls, pages,
+    and exact simulated cost; the measured phase additionally breaks its
+    cost down by operation span kind.
+    """
+    seek = config.seek_ms
+    transfer = config.transfer_ms_per_page
+
+    def cost(calls: int, pages: int) -> float:
+        return calls * seek + pages * transfer
+
+    spans = [r for r in tracer.records if r["t"] == "span"]
+    phases: dict[str, object] = {}
+    for record in spans:
+        kind = str(record["kind"])
+        if not kind.startswith("bench.") or record["parent"] is not None:
+            continue
+        calls = int(record["read_calls"]) + int(record["write_calls"])  # type: ignore[call-overload]
+        pages = int(record["pages_read"]) + int(record["pages_written"])  # type: ignore[call-overload]
+        phase: dict[str, object] = {
+            "io_calls": calls,
+            "pages": pages,
+            "cost_ms": cost(calls, pages),
+        }
+        if kind == "bench.measure":
+            kinds: dict[str, dict[str, object]] = {}
+            lo, hi = int(record["seq0"]), int(record["seq1"])  # type: ignore[call-overload]
+            for child in spans:
+                ckind = str(child["kind"])
+                if not ckind.startswith("op."):
+                    continue
+                if not lo <= int(child["seq0"]) <= hi:  # type: ignore[call-overload]
+                    continue
+                ccalls = int(child["read_calls"]) + int(child["write_calls"])  # type: ignore[call-overload]
+                cpages = int(child["pages_read"]) + int(child["pages_written"])  # type: ignore[call-overload]
+                entry = kinds.setdefault(
+                    ckind, {"count": 0, "io_calls": 0, "pages": 0}
+                )
+                entry["count"] += 1  # type: ignore[operator]
+                entry["io_calls"] += ccalls  # type: ignore[operator]
+                entry["pages"] += cpages  # type: ignore[operator]
+            for entry in kinds.values():
+                entry["cost_ms"] = cost(
+                    entry["io_calls"], entry["pages"]  # type: ignore[arg-type]
+                )
+            phase["ops"] = dict(sorted(kinds.items()))
+        phases[kind.removeprefix("bench.")] = phase
+    return phases
 
 
 def _point(
-    name: str, store: LargeObjectStore, wall_s: float, before: IOStats
+    name: str,
+    store: LargeObjectStore,
+    wall_s: float,
+    before: IOStats,
+    tracer: Tracer | None = None,
 ) -> BenchPoint:
     delta = store.stats.delta(before)
     return BenchPoint(
@@ -90,6 +175,11 @@ def _point(
         io_calls=delta.io_calls,
         pages=delta.pages_transferred,
         pool_hit_rate=store.env.pool.stats.hit_rate,
+        spans=(
+            span_summary(tracer, store.env.config)
+            if tracer is not None
+            else None
+        ),
     )
 
 
@@ -99,48 +189,65 @@ def _bench_store(scheme: str) -> LargeObjectStore:
     )
 
 
-def measure_build(scheme: str, scale: Scale) -> BenchPoint:
+def measure_build(
+    scheme: str, scale: Scale, traced: bool = False
+) -> BenchPoint:
     """Time building one object with fixed-size appends."""
-    store = _bench_store(scheme)
-    before = store.snapshot()
-    start = time.perf_counter()
-    build_object(store, scale.object_bytes, CHUNK_KB * KB)
-    wall = time.perf_counter() - start
-    return _point(f"build/{scheme}", store, wall, before)
+    tracer = Tracer(meta={"point": f"build/{scheme}"}) if traced else None
+    with _ambient(tracer):
+        store = _bench_store(scheme)
+        before = store.snapshot()
+        with _phase(tracer, "bench.measure"):
+            start = time.perf_counter()
+            build_object(store, scale.object_bytes, CHUNK_KB * KB)
+            wall = time.perf_counter() - start
+    return _point(f"build/{scheme}", store, wall, before, tracer)
 
 
-def measure_scan(scheme: str, scale: Scale) -> BenchPoint:
+def measure_scan(
+    scheme: str, scale: Scale, traced: bool = False
+) -> BenchPoint:
     """Time a full sequential scan of a prebuilt object (build untimed)."""
-    store = _bench_store(scheme)
-    oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
-    before = store.snapshot()
-    start = time.perf_counter()
-    size = store.size(oid)
-    chunk = CHUNK_KB * KB
-    position = 0
-    while position < size:
-        store.read(oid, position, min(chunk, size - position))
-        position += chunk
-    wall = time.perf_counter() - start
-    return _point(f"scan/{scheme}", store, wall, before)
+    tracer = Tracer(meta={"point": f"scan/{scheme}"}) if traced else None
+    with _ambient(tracer):
+        store = _bench_store(scheme)
+        with _phase(tracer, "bench.setup"):
+            oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+        before = store.snapshot()
+        with _phase(tracer, "bench.measure"):
+            start = time.perf_counter()
+            size = store.size(oid)
+            chunk = CHUNK_KB * KB
+            position = 0
+            while position < size:
+                store.read(oid, position, min(chunk, size - position))
+                position += chunk
+            wall = time.perf_counter() - start
+    return _point(f"scan/{scheme}", store, wall, before, tracer)
 
 
-def measure_random(scheme: str, scale: Scale) -> BenchPoint:
+def measure_random(
+    scheme: str, scale: Scale, traced: bool = False
+) -> BenchPoint:
     """Time the 40/30/30 random-update mix on a prebuilt object."""
-    store = _bench_store(scheme)
-    oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
-    n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
-    generator = WorkloadGenerator(
-        object_size=store.size(oid),
-        mean_op_size=MEAN_OP_BYTES,
-        seed=WORKLOAD_SEED,
-    )
-    runner = WorkloadRunner(store.manager, oid, generator)
-    before = store.snapshot()
-    start = time.perf_counter()
-    runner.run(n_ops, window=max(1, n_ops))
-    wall = time.perf_counter() - start
-    return _point(f"random/{scheme}", store, wall, before)
+    tracer = Tracer(meta={"point": f"random/{scheme}"}) if traced else None
+    with _ambient(tracer):
+        store = _bench_store(scheme)
+        with _phase(tracer, "bench.setup"):
+            oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+        n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
+        generator = WorkloadGenerator(
+            object_size=store.size(oid),
+            mean_op_size=MEAN_OP_BYTES,
+            seed=WORKLOAD_SEED,
+        )
+        runner = WorkloadRunner(store.manager, oid, generator)
+        before = store.snapshot()
+        with _phase(tracer, "bench.measure"):
+            start = time.perf_counter()
+            runner.run(n_ops, window=max(1, n_ops))
+            wall = time.perf_counter() - start
+    return _point(f"random/{scheme}", store, wall, before, tracer)
 
 
 _MEASURES = {
@@ -151,12 +258,21 @@ _MEASURES = {
 
 
 def run_bench(
-    scale: Scale, repeat: int = 1, only: "set[str] | None" = None
+    scale: Scale,
+    repeat: int = 1,
+    only: "set[str] | None" = None,
+    traced: bool = False,
 ) -> list[BenchPoint]:
     """Time the standard grid; with ``repeat > 1`` keep each point's
     fastest run (wall-clock noise shrinks, simulated fields are identical
     across repeats by construction).  ``only`` restricts the grid to the
-    named ``kind/scheme`` points (for cheap CI smokes at big scales)."""
+    named ``kind/scheme`` points (for cheap CI smokes at big scales).
+    ``traced`` attaches a per-phase span summary to each point (the
+    ``--spans`` flag) from one *extra* traced pass per point; the timed
+    passes stay untraced, so ``wall_s`` remains comparable against
+    untraced baselines, and the traced pass replays the same
+    deterministic workload, so the summary describes exactly the run
+    that was timed."""
     points: list[BenchPoint] = []
     for kind, scheme in STANDARD_GRID:
         if only is not None and f"{kind}/{scheme}" not in only:
@@ -168,6 +284,8 @@ def run_bench(
             if best is None or candidate.wall_s < best.wall_s:
                 best = candidate
         assert best is not None
+        if traced:
+            best.spans = measure(scheme, scale, traced=True).spans
         points.append(best)
     return points
 

@@ -91,24 +91,26 @@ class BlockBasedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     def create(self, data: Payload = b"") -> int:
         """Create an object as a chain of single data pages plus directory."""
-        oid = self.env.areas.meta.allocate(1)
-        self._objects[oid] = []
-        self._directories[oid] = [oid]
-        if data:
-            self.append(oid, data)
-        else:
-            self._sync_directory(oid)
-        return oid
+        with self._op_span("create"):
+            oid = self.env.areas.meta.allocate(1)
+            self._objects[oid] = []
+            self._directories[oid] = [oid]
+            if data:
+                self.append(oid, data)
+            else:
+                self._sync_directory(oid)
+            return oid
 
     def destroy(self, oid: int) -> None:
         """Free every data page and directory page of the object."""
         pages = self._pages(oid)
-        for page in pages:
-            self.env.areas.data.free(page.page_id, 1)
-        for dir_page in self._directories[oid]:
-            self.env.areas.meta.free(dir_page, 1)
-        del self._objects[oid]
-        del self._directories[oid]
+        with self._op_span("destroy", oid):
+            for page in pages:
+                self.env.areas.data.free(page.page_id, 1)
+            for dir_page in self._directories[oid]:
+                self.env.areas.meta.free(dir_page, 1)
+            del self._objects[oid]
+            del self._directories[oid]
 
     def size(self, oid: int) -> int:
         """Current object size in bytes (sum of per-page byte counts)."""
@@ -125,23 +127,24 @@ class BlockBasedManager(LargeObjectManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
-        self._charge_directory_walk(oid, offset, nbytes)
-        chunks: list[Payload] = []
-        position = 0
-        remaining = nbytes
-        for page in pages:
-            end = position + page.used_bytes
-            if offset < end and remaining > 0:
-                within = max(offset - position, 0)
-                take = min(page.used_bytes - within, remaining)
-                # One I/O call per page: the defining block-based cost.
-                content = self.env.segio.read_pages(page.page_id, 1)
-                chunks.append(content[within : within + take])
-                remaining -= take
-            position = end
-            if remaining <= 0:
-                break
-        return payload_concat(chunks)
+        with self._op_span("read", oid):
+            self._charge_directory_walk(oid, offset, nbytes)
+            chunks: list[Payload] = []
+            position = 0
+            remaining = nbytes
+            for page in pages:
+                end = position + page.used_bytes
+                if offset < end and remaining > 0:
+                    within = max(offset - position, 0)
+                    take = min(page.used_bytes - within, remaining)
+                    # One I/O call per page: the defining block-based cost.
+                    content = self.env.segio.read_pages(page.page_id, 1)
+                    chunks.append(content[within : within + take])
+                    remaining -= take
+                position = end
+                if remaining <= 0:
+                    break
+            return payload_concat(chunks)
 
     # ------------------------------------------------------------------
     # Updates
@@ -153,27 +156,28 @@ class BlockBasedManager(LargeObjectManager):
         pages = self._pages(oid)
         if not data:
             return
-        page_size = self.config.page_size
-        view = payload_view(data)
-        if pages and pages[-1].used_bytes < page_size:
-            last = pages[-1]
-            take = min(page_size - last.used_bytes, len(view))
-            old = self.env.segio.read_pages(last.page_id, 1)
-            self.env.segio.write_pages(
-                last.page_id,
-                payload_concat(
-                    [old[: last.used_bytes], payload_bytes(view[:take])]
-                ),
-            )
-            last.used_bytes += take
-            view = view[take:]
-        while view:
-            take = min(page_size, len(view))
-            page_id = self.env.areas.data.allocate(1)
-            self.env.segio.write_pages(page_id, payload_bytes(view[:take]))
-            pages.append(DataPage(page_id=page_id, used_bytes=take))
-            view = view[take:]
-        self._sync_directory(oid)
+        with self._op_span("append", oid):
+            page_size = self.config.page_size
+            view = payload_view(data)
+            if pages and pages[-1].used_bytes < page_size:
+                last = pages[-1]
+                take = min(page_size - last.used_bytes, len(view))
+                old = self.env.segio.read_pages(last.page_id, 1)
+                self.env.segio.write_pages(
+                    last.page_id,
+                    payload_concat(
+                        [old[: last.used_bytes], payload_bytes(view[:take])]
+                    ),
+                )
+                last.used_bytes += take
+                view = view[take:]
+            while view:
+                take = min(page_size, len(view))
+                page_id = self.env.areas.data.allocate(1)
+                self.env.segio.write_pages(page_id, payload_bytes(view[:take]))
+                pages.append(DataPage(page_id=page_id, used_bytes=take))
+                view = view[take:]
+            self._sync_directory(oid)
 
     def insert(self, oid: int, offset: int, data: Payload) -> None:
         """Insert bytes by splitting the affected page (no neighbour
@@ -186,23 +190,24 @@ class BlockBasedManager(LargeObjectManager):
         if offset == self.size(oid):
             self.append(oid, data)
             return
-        self._charge_directory_walk(oid, offset, 1)
-        index, within = self._locate(pages, offset)
-        page = pages[index]
-        content = self.env.segio.read_pages(page.page_id, 1)
-        spliced = payload_concat(
-            [content[:within], data, content[within : page.used_bytes]]
-        )
-        fits = len(spliced) <= self.config.page_size
-        if fits and not self.env.shadow.overwrite_needs_new_segment():
-            # Without shadowing a fitting splice is written in place.
-            self.env.segio.write_pages(page.page_id, spliced)
-            page.used_bytes = len(spliced)
-        else:
-            replacement = self._write_chain(spliced)
-            self.env.areas.data.free(page.page_id, 1)
-            pages[index : index + 1] = replacement
-        self._sync_directory(oid)
+        with self._op_span("insert", oid):
+            self._charge_directory_walk(oid, offset, 1)
+            index, within = self._locate(pages, offset)
+            page = pages[index]
+            content = self.env.segio.read_pages(page.page_id, 1)
+            spliced = payload_concat(
+                [content[:within], data, content[within : page.used_bytes]]
+            )
+            fits = len(spliced) <= self.config.page_size
+            if fits and not self.env.shadow.overwrite_needs_new_segment():
+                # Without shadowing a fitting splice is written in place.
+                self.env.segio.write_pages(page.page_id, spliced)
+                page.used_bytes = len(spliced)
+            else:
+                replacement = self._write_chain(spliced)
+                self.env.areas.data.free(page.page_id, 1)
+                pages[index : index + 1] = replacement
+            self._sync_directory(oid)
 
     def delete(self, oid: int, offset: int, nbytes: int) -> None:
         """Delete a byte range, dropping pages that become empty."""
@@ -210,32 +215,33 @@ class BlockBasedManager(LargeObjectManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return
-        self._charge_directory_walk(oid, offset, nbytes)
-        position = 0
-        survivors: list[DataPage] = []
-        for page in pages:
-            end = position + page.used_bytes
-            cut_lo = max(offset, position)
-            cut_hi = min(offset + nbytes, end)
-            if cut_lo >= cut_hi:
-                survivors.append(page)
-            elif cut_lo == position and cut_hi == end:
-                # Whole page deleted.
-                self.env.areas.data.free(page.page_id, 1)
-            else:
-                content = self.env.segio.read_pages(page.page_id, 1)
-                kept = payload_concat([
-                    content[: cut_lo - position],
-                    content[cut_hi - position : page.used_bytes],
-                ])
-                if kept or not self.options.free_empty_pages:
-                    new_page = self._rewrite_page(page, kept)
-                    survivors.append(new_page)
-                else:
+        with self._op_span("delete", oid):
+            self._charge_directory_walk(oid, offset, nbytes)
+            position = 0
+            survivors: list[DataPage] = []
+            for page in pages:
+                end = position + page.used_bytes
+                cut_lo = max(offset, position)
+                cut_hi = min(offset + nbytes, end)
+                if cut_lo >= cut_hi:
+                    survivors.append(page)
+                elif cut_lo == position and cut_hi == end:
+                    # Whole page deleted.
                     self.env.areas.data.free(page.page_id, 1)
-            position = end
-        self._objects[oid] = survivors
-        self._sync_directory(oid)
+                else:
+                    content = self.env.segio.read_pages(page.page_id, 1)
+                    kept = payload_concat([
+                        content[: cut_lo - position],
+                        content[cut_hi - position : page.used_bytes],
+                    ])
+                    if kept or not self.options.free_empty_pages:
+                        new_page = self._rewrite_page(page, kept)
+                        survivors.append(new_page)
+                    else:
+                        self.env.areas.data.free(page.page_id, 1)
+                position = end
+            self._objects[oid] = survivors
+            self._sync_directory(oid)
 
     def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite bytes page by page, shadowing each affected page."""
@@ -243,26 +249,27 @@ class BlockBasedManager(LargeObjectManager):
         self._check_range(oid, offset, len(data))
         if not data:
             return
-        self._charge_directory_walk(oid, offset, len(data))
-        position = 0
-        cursor = 0
-        for index, page in enumerate(pages):
-            end = position + page.used_bytes
-            if offset < end and cursor < len(data):
-                within = max(offset - position, 0)
-                take = min(page.used_bytes - within, len(data) - cursor)
-                content = self.env.segio.read_pages(page.page_id, 1)
-                patched = payload_concat([
-                    content[:within],
-                    data[cursor : cursor + take],
-                    content[within + take : page.used_bytes],
-                ])
-                pages[index] = self._rewrite_page(page, patched)
-                cursor += take
-            position = end
-            if cursor >= len(data):
-                break
-        self._sync_directory(oid)
+        with self._op_span("replace", oid):
+            self._charge_directory_walk(oid, offset, len(data))
+            position = 0
+            cursor = 0
+            for index, page in enumerate(pages):
+                end = position + page.used_bytes
+                if offset < end and cursor < len(data):
+                    within = max(offset - position, 0)
+                    take = min(page.used_bytes - within, len(data) - cursor)
+                    content = self.env.segio.read_pages(page.page_id, 1)
+                    patched = payload_concat([
+                        content[:within],
+                        data[cursor : cursor + take],
+                        content[within + take : page.used_bytes],
+                    ])
+                    pages[index] = self._rewrite_page(page, patched)
+                    cursor += take
+                position = end
+                if cursor >= len(data):
+                    break
+            self._sync_directory(oid)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -305,6 +305,9 @@ class BufferPool:
             record = all(
                 self._frames[run_start + i].record for i in range(run_len)
             )
+            tracer = self.disk.tracer
+            if tracer is not None:
+                tracer.event("pool.writeback", page=run_start, pages_n=run_len)
             self.disk.write_pages(run_start, run_len, data, record=record)
             for i in range(run_len):
                 frame = self._frames[run_start + i]
@@ -327,10 +330,14 @@ class BufferPool:
         victim = self._choose_victim()
         if victim is None:
             raise BufferPoolError("all buffer frames are pinned")
-        if victim.dirty:
+        was_dirty = victim.dirty
+        if was_dirty:
             self._writeback(victim)
         self.stats.evictions += 1
         del self._frames[victim.page_id]
+        tracer = self.disk.tracer
+        if tracer is not None:
+            tracer.event("pool.evict", page=victim.page_id, dirty=was_dirty)
 
     def _choose_victim(self) -> Frame | None:
         """LRU among clean unpinned frames, then dirty unpinned frames.
@@ -352,6 +359,9 @@ class BufferPool:
         return fallback
 
     def _writeback(self, frame: Frame) -> None:
+        tracer = self.disk.tracer
+        if tracer is not None:
+            tracer.event("pool.writeback", page=frame.page_id)
         content = _page_image(frame.content(), self.config.page_size)
         self.disk.write_pages(frame.page_id, 1, content, record=frame.record)
         frame.dirty = False

@@ -14,6 +14,8 @@ from repro.buffer.pool import BufferPool
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.disk.disk import SimulatedDisk
 from repro.disk.iomodel import CostModel, IOStats
+from repro.obs.runtime import resolve_tracer
+from repro.obs.tracer import Tracer
 from repro.recovery.shadow import DEFAULT_SHADOW, ShadowPolicy
 from repro.segio import SegmentIO
 
@@ -28,6 +30,7 @@ class StorageEnvironment:
         shadow: ShadowPolicy = DEFAULT_SHADOW,
         bypass_pool: bool = False,
         always_pool: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         """Create a fresh simulated installation.
 
@@ -35,10 +38,19 @@ class StorageEnvironment:
         phantom mode (I/O is counted but object bytes are not stored),
         which is how the benchmarks reach 10 MB objects quickly; tests
         keep it ``True`` to verify byte-level correctness.
+
+        ``tracer`` enables :mod:`repro.obs` tracing for everything built
+        on this environment; when omitted, an ambiently installed tracer
+        (``repro.obs.runtime.installed``) is picked up instead.  Tracing
+        is strictly observational — costs and counters are identical with
+        or without it.
         """
         self.config = config
         self.cost = CostModel(config)
         self.disk = SimulatedDisk(config, self.cost)
+        self.tracer = resolve_tracer(tracer)
+        if self.tracer is not None:
+            self.disk.tracer = self.tracer
         self.pool = BufferPool(config, self.disk)
         self.areas = DatabaseAreas.create(
             config, self.pool, record_leaf_data=record_leaf_data
@@ -51,6 +63,8 @@ class StorageEnvironment:
             bypass_pool=bypass_pool,
             always_pool=always_pool,
         )
+        if self.tracer is not None:
+            self.tracer.bind(config, self.cost.stats, self.pool.stats)
 
     # ------------------------------------------------------------------
     # Cost measurement helpers

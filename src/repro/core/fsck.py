@@ -235,7 +235,7 @@ def cli_main(argv: list[str] | None = None) -> int:
             mean_op_size=args.mean_op,
             seed=args.seed,
         )
-        print(f"{scheme}: {report.summary()}")
+        print(f"{scheme}: {report.summary()}")  # repro-lint: disable=OBS001
         dirty = dirty or not report.clean
     return 2 if dirty else 0
 

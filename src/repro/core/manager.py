@@ -10,10 +10,17 @@ EOS) or long field descriptor page (Starburst).
 from __future__ import annotations
 
 import abc
+import contextlib
+from typing import ContextManager
 
 from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, ObjectNotFoundError
 from repro.core.payload import Payload
+
+#: Shared no-op context returned by :meth:`LargeObjectManager._op_span`
+#: when tracing is off: operations are the hottest spans in the stack, so
+#: the disabled path must not allocate anything per call.
+_NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
 
 
 class LargeObjectManager(abc.ABC):
@@ -25,6 +32,20 @@ class LargeObjectManager(abc.ABC):
     def __init__(self, env: StorageEnvironment) -> None:
         self.env = env
         self.config = env.config
+
+    def _op_span(self, op: str, oid: int | None = None) -> ContextManager[None]:
+        """A tracing span for one manager operation (or a no-op).
+
+        Every concrete manager wraps the body of each public operation in
+        ``with self._op_span("append", oid):`` so traces attribute all
+        lower-layer I/O to an ``op.append`` span tagged with the scheme.
+        """
+        tracer = self.env.tracer
+        if tracer is None:
+            return _NULL_SPAN
+        if oid is None:
+            return tracer.span(f"op.{op}", scheme=self.scheme)
+        return tracer.span(f"op.{op}", scheme=self.scheme, oid=oid)
 
     # ------------------------------------------------------------------
     # Object lifecycle

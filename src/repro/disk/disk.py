@@ -50,6 +50,7 @@ from repro.core.errors import (
 from repro.core.payload import Payload, SizedPayload
 from repro.disk.iomodel import DEFAULT_RETRY_POLICY, CostModel, RetryPolicy
 from repro.lint.contracts import pure_read
+from repro.obs.tracer import Tracer
 
 
 class FaultSite(Protocol):
@@ -131,6 +132,12 @@ class SimulatedDisk:
         #: pages (a real disk retains freed blocks until reuse; crash
         #: recovery reads them).  Set by armed fault injectors.
         self.retain_freed = False
+        #: Installed tracer, if any (set by the owning environment).  The
+        #: disk is the cost choke point, so the four ``io_event`` sites
+        #: below attribute 100% of simulated cost; with no tracer each
+        #: site costs one attribute load and an ``is not None`` check,
+        #: mirroring the ``_fault_site`` guard.
+        self.tracer: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Accounted physical I/O
@@ -148,6 +155,8 @@ class SimulatedDisk:
         if self._fault_site is not None:
             self._attempt_read(start, n_pages)
         self.cost.charge_read(n_pages)
+        if self.tracer is not None:
+            self.tracer.io_event("disk.read", start, n_pages)
         pages = self._pages
         get = pages.get
         any_content = False
@@ -185,6 +194,8 @@ class SimulatedDisk:
         if self._fault_site is not None:
             self._attempt_read(start, n_pages)
         self.cost.charge_read(n_pages)
+        if self.tracer is not None:
+            self.tracer.io_event("disk.read", start, n_pages)
         get = self._pages.get
         zero = self._zero_page
         zero_payload = self._zero_payload
@@ -224,11 +235,18 @@ class SimulatedDisk:
         if site is not None:
             tear_at = self._attempt_write(site, start, n_pages, record)
         self.cost.charge_write(n_pages)
+        if self.tracer is not None:
+            self.tracer.io_event("disk.write", start, n_pages)
         if tear_at is not None:
             # Torn multi-page write: the device persisted only a prefix of
             # the run before the simulated machine died mid-transfer.
             self._store_run(start, n_pages, data, record, limit=tear_at)
             self._halted = True
+            if self.tracer is not None:
+                self.tracer.event(
+                    "disk.torn_write", start=start, pages=n_pages,
+                    persisted=tear_at,
+                )
             raise CrashError(
                 f"torn write: only {tear_at} of {n_pages} pages at "
                 f"{start} persisted"
@@ -344,6 +362,8 @@ class SimulatedDisk:
                 if not exc.transient or attempt >= self.retry_policy.max_attempts:
                     raise
                 self.cost.charge_retry_read(n_pages)
+                if self.tracer is not None:
+                    self.tracer.io_event("disk.retry.read", start, n_pages)
 
     def _attempt_write(
         self, site: FaultSite, start: int, n_pages: int, record: bool
@@ -362,10 +382,14 @@ class SimulatedDisk:
                 if not exc.transient or attempt >= self.retry_policy.max_attempts:
                     raise
                 self.cost.charge_retry_write(n_pages)
+                if self.tracer is not None:
+                    self.tracer.io_event("disk.retry.write", start, n_pages)
 
     def _verify_checksum(self, page_id: int, content: bytes) -> None:
         expected = self._checksums.get(page_id)
         if expected is not None and zlib.crc32(content) != expected:
+            if self.tracer is not None:
+                self.tracer.event("disk.checksum_fail", page=page_id)
             raise ChecksumError(page_id)
 
     def corrupt_page(self, page_id: int, bit_index: int) -> None:

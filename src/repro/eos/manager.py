@@ -67,7 +67,7 @@ class EOSManager(TreeBackedManager):
         tree = self._tree(oid)
         if not data:
             return
-        with self._op(tree):
+        with self._op_span("append", oid), self._op(tree):
             remaining = payload_view(data)
             prev_alloc = 0
             if tree.total_bytes:
@@ -140,7 +140,7 @@ class EOSManager(TreeBackedManager):
         tree = self._tree(oid)
         if tree.total_bytes == 0:
             return
-        with self._op(tree):
+        with self._op_span("trim", oid), self._op(tree):
             cursor = tree.locate(tree.total_bytes)
             extent = cursor.extent
             used_pages = extent.used_pages(self.config.page_size)
@@ -165,7 +165,7 @@ class EOSManager(TreeBackedManager):
         if offset == tree.total_bytes:
             self.append(oid, data)
             return
-        with self._op(tree):
+        with self._op_span("insert", oid), self._op(tree):
             cursor = tree.locate(offset)
             target = cursor.extent
             position = offset - cursor.extent_start
@@ -227,7 +227,7 @@ class EOSManager(TreeBackedManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return
-        with self._op(tree):
+        with self._op_span("delete", oid), self._op(tree):
             covered = tree.extents_covering(offset, nbytes)
             first, first_start = covered[0]
             last, last_start = covered[-1]
@@ -265,7 +265,7 @@ class EOSManager(TreeBackedManager):
         self._check_range(oid, offset, len(data))
         if not data:
             return
-        with self._op(tree):
+        with self._op_span("replace", oid), self._op(tree):
             position = offset
             remaining = payload_view(data)
             while remaining:

@@ -87,7 +87,7 @@ class ESMManager(TreeBackedManager):
         tree = self._tree(oid)
         if not data:
             return
-        with self._op(tree):
+        with self._op_span("append", oid), self._op(tree):
             if tree.total_bytes == 0:
                 self._extend_fresh(tree, data)
                 return
@@ -167,7 +167,7 @@ class ESMManager(TreeBackedManager):
         if offset == tree.total_bytes:
             self.append(oid, data)
             return
-        with self._op(tree):
+        with self._op_span("insert", oid), self._op(tree):
             cursor = tree.locate(offset)
             target = cursor.extent
             position = offset - cursor.extent_start
@@ -260,7 +260,7 @@ class ESMManager(TreeBackedManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return
-        with self._op(tree):
+        with self._op_span("delete", oid), self._op(tree):
             covered = tree.extents_covering(offset, nbytes)
             first, first_start = covered[0]
             last, last_start = covered[-1]
@@ -335,7 +335,7 @@ class ESMManager(TreeBackedManager):
         self._check_range(oid, offset, len(data))
         if not data:
             return
-        with self._op(tree):
+        with self._op_span("replace", oid), self._op(tree):
             position = offset
             remaining = payload_view(data)
             while remaining:

@@ -123,6 +123,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "record a repro.obs JSONL trace of every experiment run to "
+            "PATH (inspect with repro-obs summary/diff/flame)"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         dest="list_only",
@@ -149,6 +157,12 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_text())
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
+    tracer = None
+    if args.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(meta={"tool": "repro-experiments",
+                              "experiments": names})
     if args.jobs > 1:
         # Warm the memo caches from worker processes; the serial assembly
         # below then renders from cached results, bit-identically.
@@ -167,17 +181,35 @@ def main(argv: list[str] | None = None) -> int:
             ),
             timeout_s=args.timeout,
             log=log,
+            tracer=tracer,
         )
         if log.degraded:
             print(log.summary(), file=sys.stderr)
-    for name in names:
-        print(run(name))
-        if args.plot and name in PLOTTABLE:
+
+    def render_all() -> None:
+        for name in names:
+            print(run(name))
+            if args.plot and name in PLOTTABLE:
+                print()
+                print(run_plot(name))
+            if args.csv and name in CSV_EXPORTS:
+                print(f"wrote {export_csv(name, args.csv)}")
             print()
-            print(run_plot(name))
-        if args.csv and name in CSV_EXPORTS:
-            print(f"wrote {export_csv(name, args.csv)}")
-        print()
+
+    if tracer is None:
+        render_all()
+    else:
+        from repro.obs.export import dump_trace
+        from repro.obs.runtime import installed
+
+        # The ambient tracer is picked up by every StorageEnvironment the
+        # serial pass builds; with --jobs the expensive points are already
+        # cached (and their worker traces absorbed above), so this only
+        # adds whatever the assembly itself computes.
+        with installed(tracer):
+            render_all()
+        dump_trace(tracer, args.trace)
+        print(f"wrote trace {args.trace}")
     return 0
 
 

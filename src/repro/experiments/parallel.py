@@ -50,6 +50,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import Scale, resolve_scale
 from repro.experiments.grid import GridPoint, full_grid
+from repro.obs.runtime import installed
+from repro.obs.tracer import Tracer
 
 
 def compute_point(point: GridPoint) -> Any:
@@ -84,6 +86,19 @@ def compute_point(point: GridPoint) -> Any:
             point.scheme, point.setting, scale, point.config
         )
     raise InvalidArgumentError(f"unknown grid point kind {point.kind!r}")
+
+
+def compute_point_traced(point: GridPoint) -> tuple[Any, dict[str, object]]:
+    """Compute one grid point under a private ambient tracer.
+
+    Returns ``(result, captured_trace_state)``; the state is picklable
+    and is absorbed into the parent's tracer in grid-point order, so the
+    merged trace does not depend on worker count or scheduling.
+    """
+    tracer = Tracer(meta={"point": _point_label(point)})
+    with installed(tracer):
+        result = compute_point(point)
+    return result, tracer.capture_state()
 
 
 #: Times a failed point is re-fanned to workers before serial fallback.
@@ -302,6 +317,7 @@ def precompute(
     retries: int = DEFAULT_RETRIES,
     timeout_s: float | None = None,
     log: DegradationLog | None = None,
+    tracer: Tracer | None = None,
 ) -> int:
     """Fan the selected experiments' grids out and warm the memo caches.
 
@@ -310,12 +326,30 @@ def precompute(
     primed result, so report text and cost counters match a purely serial
     run bit for bit.  Worker failures degrade per :func:`run_grid`; pass
     a :class:`DegradationLog` to see what was healed.
+
+    With a ``tracer``, every worker computes its point under a private
+    tracer and the captured per-point traces are absorbed here in grid
+    order — the merged trace is independent of ``jobs``.
     """
     scale = scale or resolve_scale()
     points = full_grid(names, scale)
-    results = run_grid(
-        points, jobs=jobs, retries=retries, timeout_s=timeout_s, log=log
-    )
+    if tracer is None:
+        results = run_grid(
+            points, jobs=jobs, retries=retries, timeout_s=timeout_s, log=log
+        )
+    else:
+        pairs = run_grid(
+            points,
+            jobs=jobs,
+            retries=retries,
+            timeout_s=timeout_s,
+            compute=compute_point_traced,
+            log=log,
+        )
+        results = []
+        for result, state in pairs:
+            tracer.absorb(state)
+            results.append(result)
     prime_results(points, results)
     return len(points)
 

@@ -70,7 +70,7 @@ def write_report(path: str, names: tuple[str, ...] | None = None) -> str:
 def main() -> int:
     """CLI helper: ``python -m repro.experiments.report [PATH]``."""
     path = sys.argv[1] if len(sys.argv) > 1 else "REPORT.md"
-    print(f"wrote {write_report(path)}")
+    print(f"wrote {write_report(path)}")  # repro-lint: disable=OBS001
     return 0
 
 

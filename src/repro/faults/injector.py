@@ -89,6 +89,10 @@ class FaultInjector:
                 f"read-fault call={call} attempt={attempt} pages="
                 f"{start}+{n_pages}"
             )
+            self._emit(
+                "fault.read", call=call, attempt=attempt, start=start,
+                pages_n=n_pages,
+            )
             raise IOFaultError(
                 f"injected read fault at call {call}, attempt {attempt} "
                 f"(pages {start}..{start + n_pages - 1})",
@@ -110,6 +114,7 @@ class FaultInjector:
         plan = self.plan
         if plan.crash_writes.fires(call):
             self._note(f"crash before write call={call} page={start}")
+            self._emit("fault.crash", call=call, start=start)
             raise CrashError(
                 f"injected crash before write call {call} (page {start})"
             )
@@ -117,6 +122,10 @@ class FaultInjector:
             self._note(
                 f"write-fault call={call} attempt={attempt} pages="
                 f"{start}+{n_pages}"
+            )
+            self._emit(
+                "fault.write", call=call, attempt=attempt, start=start,
+                pages_n=n_pages,
             )
             raise IOFaultError(
                 f"injected write fault at call {call}, attempt {attempt} "
@@ -131,6 +140,10 @@ class FaultInjector:
             self._note(
                 f"torn write call={call} page={start} persisted="
                 f"{prefix}/{n_pages}"
+            )
+            self._emit(
+                "fault.torn", call=call, start=start, persisted=prefix,
+                pages_n=n_pages,
             )
             return prefix
         return None
@@ -148,6 +161,15 @@ class FaultInjector:
             f"corrupted page={page} bit={bit} after write call="
             f"{self.write_calls}"
         )
+        self._emit(
+            "fault.corrupt", call=self.write_calls, page=page, bit=bit
+        )
 
     def _note(self, event: str) -> None:
         self.events.append(event)
+
+    def _emit(self, kind: str, **attrs: object) -> None:
+        """Mirror an injected fault into the trace as a structured event."""
+        tracer = self.disk.tracer
+        if tracer is not None:
+            tracer.event(kind, **attrs)

@@ -542,6 +542,67 @@ class PhantomPayloadRule(Rule):
 
 
 @register
+class ObservabilityPrintRule(Rule):
+    """OBS001: library code reports through ``repro.obs``, not ``print()``.
+
+    A bare ``print()`` inside the storage/experiment library is invisible
+    to the tracing and metrics layer, interleaves nondeterministically
+    with parallel workers, and corrupts machine-read output (CSV exports,
+    JSONL traces).  Diagnostics belong in :mod:`repro.obs` events or in a
+    returned report string.  CLI entry points are the exception: modules
+    named ``cli.py`` / ``__main__.py``, code under an
+    ``if __name__ == "__main__":`` block, and explicitly suppressed
+    reporter mains (``# repro-lint: disable=OBS001``) may print — that is
+    their job.
+    """
+
+    rule_id = "OBS001"
+    summary = (
+        "no bare print() in library code; print only in CLI entry points "
+        "(cli.py, __main__.py, __main__ blocks) or suppressed reporters"
+    )
+
+    _cli_files = frozenset({"cli.py", "__main__.py"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.path.name in self._cli_files:
+            return
+        main_blocks = [
+            node
+            for node in ctx.tree.body
+            if isinstance(node, ast.If) and self._is_main_guard(node.test)
+        ]
+        in_main = set()
+        for block in main_blocks:
+            for node in ast.walk(block):
+                in_main.add(id(node))
+        for node in ast.walk(ctx.tree):
+            if id(node) in in_main or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare print() in library code; emit a repro.obs event "
+                    "or return the text (print belongs in CLI entry "
+                    "points only)",
+                )
+
+    @staticmethod
+    def _is_main_guard(test: ast.expr) -> bool:
+        """True for the conventional ``__name__ == "__main__"`` test."""
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value == "__main__"
+        )
+
+
+@register
 class FaultHandlingRule(Rule):
     """FAULT001: crash/fault exceptions propagate to the fault layers.
 

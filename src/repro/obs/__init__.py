@@ -1,0 +1,41 @@
+"""End-to-end tracing, metrics, and cost attribution (``repro.obs``).
+
+The observability layer of the reproduction: hierarchical spans opened by
+manager operations and closed-over by the segment-I/O, tree, buffer, and
+disk layers; structured events for every physical access, retry,
+checksum failure, eviction, split, and injected fault; and a
+deterministic metrics registry the parallel runner can aggregate across
+workers.  Traces export as JSONL and are inspected with the ``repro-obs``
+CLI (``summary`` / ``diff`` / ``flame`` / ``validate``).
+
+Tracing is strictly observational: with no tracer installed the
+instrumented layers pay one ``is not None`` check per site, and with one
+installed the recorded costs are read from the same ledgers the reports
+use — reports and counters are bit-identical either way.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    TraceDocument,
+    dump_trace,
+    load_trace,
+    validate_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.runtime import current, installed, resolve_tracer, selfcheck_enabled
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceDocument",
+    "Tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "current",
+    "dump_trace",
+    "installed",
+    "load_trace",
+    "resolve_tracer",
+    "selfcheck_enabled",
+    "validate_trace",
+]

@@ -1,0 +1,195 @@
+"""JSONL trace export, loading, and schema validation.
+
+A trace file is newline-delimited JSON with exactly one header line, any
+number of span/event records, and one trailing metrics line:
+
+``{"t": "header", "version": 1, "seek_ms": …, "transfer_ms_per_page": …,
+"meta": {…}}``
+    Cost-model constants captured from the traced environment, so a
+    reader can reconstruct simulated milliseconds from integer call/page
+    counts without access to the original configuration.
+
+``{"t": "span", "id", "parent", "kind", "seq0", "seq1", read/write
+call+page counters, their "self_…" variants, optional "attrs"}``
+    Emitted when the span *closes*, so children precede their parents in
+    the file; readers index spans by id before resolving parents.
+
+``{"t": "event", "seq", "span", "kind", optional "start"/"pages",
+optional "attrs"}``
+    Physical I/O events carry ``start`` (first page id) and ``pages``.
+
+``{"t": "metrics", "counters", "gauges", "histograms"}``
+    The tracer's folded :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Records contain logical sequence numbers only — no timestamps — so the
+same run always serializes to byte-identical JSONL.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.core.errors import TraceError
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Version stamped into every trace header.
+TRACE_FORMAT_VERSION = 1
+
+_SPAN_REQUIRED = (
+    "id", "parent", "kind", "seq0", "seq1",
+    "read_calls", "write_calls", "pages_read", "pages_written", "retries",
+    "self_read_calls", "self_write_calls",
+    "self_pages_read", "self_pages_written", "self_retries",
+)
+_EVENT_REQUIRED = ("seq", "span", "kind")
+
+
+@dataclasses.dataclass
+class TraceDocument:
+    """An in-memory trace: header + records + metrics."""
+
+    header: dict[str, object]
+    records: list[dict[str, object]]
+    metrics: MetricsRegistry
+
+    @property
+    def seek_ms(self) -> float:
+        """Per-call seek cost recorded in the header."""
+        return float(self.header["seek_ms"])  # type: ignore[arg-type]
+
+    @property
+    def transfer_ms_per_page(self) -> float:
+        """Per-page transfer cost recorded in the header."""
+        return float(self.header["transfer_ms_per_page"])  # type: ignore[arg-type]
+
+    def spans(self) -> list[dict[str, object]]:
+        """All span records, in file (close) order."""
+        return [r for r in self.records if r["t"] == "span"]
+
+    def events(self) -> list[dict[str, object]]:
+        """All event records, in file (sequence) order."""
+        return [r for r in self.records if r["t"] == "event"]
+
+
+def dump_trace(tracer: Tracer, path: str | Path) -> None:
+    """Finalize ``tracer`` and write it to ``path`` as JSONL."""
+    tracer.fold_ledgers()
+    config = tracer.config if tracer.config is not None else SystemConfig()
+    header: dict[str, object] = {
+        "t": "header",
+        "version": TRACE_FORMAT_VERSION,
+        "seek_ms": config.seek_ms,
+        "transfer_ms_per_page": config.transfer_ms_per_page,
+        "meta": tracer.meta,
+    }
+    with Path(path).open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in tracer.records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        trailer = {"t": "metrics", **tracer.metrics.to_dict()}
+        handle.write(json.dumps(trailer, sort_keys=True) + "\n")
+
+
+def load_trace(path: str | Path) -> TraceDocument:
+    """Parse a JSONL trace file, raising :class:`TraceError` on malformed input."""
+    header: dict[str, object] | None = None
+    metrics: MetricsRegistry | None = None
+    records: list[dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "t" not in record:
+                raise TraceError(f"{path}:{lineno}: record is not an object with 't'")
+            kind = record["t"]
+            if kind == "header":
+                if header is not None:
+                    raise TraceError(f"{path}:{lineno}: duplicate header")
+                header = record
+            elif kind == "metrics":
+                if metrics is not None:
+                    raise TraceError(f"{path}:{lineno}: duplicate metrics trailer")
+                metrics = MetricsRegistry.from_dict(record)
+            elif kind in ("span", "event"):
+                records.append(record)
+            else:
+                raise TraceError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if header is None:
+        raise TraceError(f"{path}: missing header line")
+    if metrics is None:
+        raise TraceError(f"{path}: missing metrics trailer")
+    return TraceDocument(header=header, records=records, metrics=metrics)
+
+
+def validate_trace(path: str | Path) -> list[str]:
+    """Check a trace file against the schema; return a list of problems.
+
+    An empty list means the trace is well-formed: parseable, one header
+    and one metrics line, all required fields present, span ids unique,
+    every parent/span reference resolvable, and event sequence numbers
+    strictly increasing.
+    """
+    try:
+        document = load_trace(path)
+    except (TraceError, OSError) as exc:
+        return [str(exc)]
+    problems: list[str] = []
+    header = document.header
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        problems.append(
+            f"header version {header.get('version')!r} != {TRACE_FORMAT_VERSION}"
+        )
+    for field in ("seek_ms", "transfer_ms_per_page"):
+        if not isinstance(header.get(field), (int, float)):
+            problems.append(f"header field {field!r} missing or non-numeric")
+    span_ids: set[int] = set()
+    for record in document.spans():
+        missing = [f for f in _SPAN_REQUIRED if f not in record]
+        if missing:
+            problems.append(f"span record missing fields: {', '.join(missing)}")
+            continue
+        span_id = record["id"]
+        if span_id in span_ids:
+            problems.append(f"duplicate span id {span_id}")
+        span_ids.add(span_id)  # type: ignore[arg-type]
+    for record in document.spans():
+        parent = record.get("parent")
+        if parent is not None and parent not in span_ids:
+            problems.append(
+                f"span {record.get('id')} references unknown parent {parent}"
+            )
+    last_seq = -1
+    for record in document.events():
+        missing = [f for f in _EVENT_REQUIRED if f not in record]
+        if missing:
+            problems.append(f"event record missing fields: {', '.join(missing)}")
+            continue
+        span = record["span"]
+        if span is not None and span not in span_ids:
+            problems.append(
+                f"event {record['kind']!r} references unknown span {span}"
+            )
+        seq = record["seq"]
+        if not isinstance(seq, int) or seq <= last_seq:
+            problems.append(
+                f"event sequence numbers not strictly increasing at seq {seq!r}"
+            )
+        else:
+            last_seq = seq
+        if "pages" in record and (
+            not isinstance(record["pages"], int) or record["pages"] <= 0  # type: ignore[operator]
+        ):
+            problems.append(
+                f"event {record['kind']!r} has non-positive pages {record['pages']!r}"
+            )
+    return problems

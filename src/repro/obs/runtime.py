@@ -1,0 +1,104 @@
+"""Ambient tracer installation and the ``REPRO_OBS_SELFCHECK`` flag.
+
+Most callers hand a :class:`~repro.obs.tracer.Tracer` to a
+:class:`~repro.core.env.StorageEnvironment` explicitly.  Two situations
+need an *ambient* mechanism instead:
+
+* the experiment CLI traces whole grids without threading a tracer
+  through every ``build_object``/``WorkloadRunner`` signature — it
+  installs one here and every environment constructed underneath picks
+  it up;
+* CI runs the entire test suite with ``REPRO_OBS_SELFCHECK=1``, which
+  gives every environment a private throwaway tracer so all tracing code
+  paths execute everywhere, and the suite itself becomes the
+  tracing-on/off invariance check.
+
+The installed-tracer stack is module-level mutable state, which the
+reproduction otherwise avoids; it is confined to this module, LIFO, and
+normally managed through the :func:`installed` context manager.
+
+The environment-variable check mirrors the ``REPRO_DEBUG`` fast-flag
+pattern from :mod:`repro.lint.contracts`: environments are constructed in
+inner loops of the crash sweep and the randomized tests, so the flag is
+read through ``os.environ``'s underlying dict at plain-lookup cost while
+staying dynamic for tests that monkeypatch it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+from repro.core.errors import InvalidArgumentError
+
+from repro.obs.tracer import Tracer
+
+#: Environment variable that gives every environment a private tracer.
+SELFCHECK_FLAG = "REPRO_OBS_SELFCHECK"
+
+try:
+    _ENV_DATA = os.environ._data  # type: ignore[attr-defined]
+    _FLAG_KEY = os.environ.encodekey(SELFCHECK_FLAG)  # type: ignore[attr-defined]
+    _FLAG_ON = os.environ.encodevalue("1")  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - non-CPython environ layout
+    _ENV_DATA = None
+    _FLAG_KEY = SELFCHECK_FLAG
+    _FLAG_ON = "1"
+
+
+def selfcheck_enabled() -> bool:
+    """True when ``REPRO_OBS_SELFCHECK=1`` is set in the environment."""
+    if _ENV_DATA is not None:
+        return _ENV_DATA.get(_FLAG_KEY) == _FLAG_ON
+    return os.environ.get(SELFCHECK_FLAG, "") == "1"
+
+
+#: LIFO stack of ambiently installed tracers (innermost last).
+_TRACER_STACK: list[Tracer] = []
+
+
+def install(tracer: Tracer) -> None:
+    """Push a tracer; environments constructed from now on pick it up."""
+    _TRACER_STACK.append(tracer)
+
+
+def uninstall(tracer: Tracer) -> None:
+    """Pop a previously installed tracer (must be the innermost one)."""
+    if not _TRACER_STACK or _TRACER_STACK[-1] is not tracer:
+        raise InvalidArgumentError(
+            "uninstall order violation: tracer is not the innermost installed one"
+        )
+    _TRACER_STACK.pop()
+
+
+def current() -> Tracer | None:
+    """The innermost ambiently installed tracer, if any."""
+    return _TRACER_STACK[-1] if _TRACER_STACK else None
+
+
+@contextlib.contextmanager
+def installed(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` ambiently for the duration of the block."""
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall(tracer)
+
+
+def resolve_tracer(explicit: Tracer | None) -> Tracer | None:
+    """Pick the tracer a new environment should use.
+
+    Preference order: the explicitly passed tracer, then the innermost
+    ambient one, then — only under ``REPRO_OBS_SELFCHECK=1`` — a fresh
+    private tracer so the tracing paths run even in untraced tests.
+    """
+    if explicit is not None:
+        return explicit
+    ambient = current()
+    if ambient is not None:
+        return ambient
+    if selfcheck_enabled():
+        return Tracer()
+    return None

@@ -400,11 +400,11 @@ def cli_main(argv: Sequence[str] | None = None) -> int:
                 sweep_operation(scheme, "append", torn=True, report=report)
     else:
         report = run_sweep(schemes, ops, torn=torn)
-    print(report.summary())
+    print(report.summary())  # repro-lint: disable=OBS001
     if not report.clean:
         for failure in report.failures:
             kind = "torn" if failure.torn else "crash"
-            print(
+            print(  # repro-lint: disable=OBS001
                 f"FAIL {failure.scheme}/{failure.op} {kind} at write "
                 f"{failure.crash_write}: {failure.detail}"
             )

@@ -19,10 +19,17 @@ stale leaf data.
 
 from __future__ import annotations
 
+import contextlib
+from typing import ContextManager
+
 from repro.buffer.pool import BufferPool
 from repro.core.config import SystemConfig
 from repro.core.errors import ByteRangeError
 from repro.core.payload import Payload, payload_concat
+
+#: Shared no-op context returned by :meth:`SegmentIO._span` when tracing
+#: is off, so the disabled path allocates nothing per call.
+_NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
 
 
 class SegmentIO:
@@ -43,6 +50,13 @@ class SegmentIO:
         self.record_leaf_data = record_leaf_data
         self.bypass_pool = bypass_pool
         self.always_pool = always_pool
+
+    def _span(self, kind: str, **attrs: object) -> ContextManager[None]:
+        """A tracing span around one segment-level access (or a no-op)."""
+        tracer = self.pool.disk.tracer
+        if tracer is None:
+            return _NULL_SPAN
+        return tracer.span(kind, **attrs)
 
     # ------------------------------------------------------------------
     # Reads
@@ -73,30 +87,39 @@ class SegmentIO:
         :class:`~repro.core.payload.SizedPayload` (all zeros, no byte
         work); recorded runs come back as real ``bytes``.
         """
-        if self._should_buffer(n_pages):
-            return self.pool.read_run(start_page, n_pages,
-                                      record=self.record_leaf_data)
-        # Large run: bypass the pool.  Boundary blocks that are already
-        # resident are taken from the pool; the interior is one direct I/O.
-        page_size = self.config.page_size
-        first_cached = self._resident_content(start_page)
-        last_cached = (
-            self._resident_content(start_page + n_pages - 1)
-            if n_pages > 1
-            else None
-        )
-        middle_start = start_page + (1 if first_cached is not None else 0)
-        middle_end = start_page + n_pages - (1 if last_cached is not None else 0)
-        chunks: list[Payload] = []
-        if first_cached is not None:
-            chunks.append(first_cached.ljust(page_size, b"\x00"))
-        if middle_end > middle_start:
-            chunks.append(
-                self.pool.disk.read_pages(middle_start, middle_end - middle_start)
+        buffered = self._should_buffer(n_pages)
+        with self._span(
+            "segio.read", start=start_page, pages_n=n_pages, buffered=buffered
+        ):
+            if buffered:
+                return self.pool.read_run(start_page, n_pages,
+                                          record=self.record_leaf_data)
+            # Large run: bypass the pool.  Boundary blocks that are already
+            # resident are taken from the pool; the interior is one direct
+            # I/O.
+            page_size = self.config.page_size
+            first_cached = self._resident_content(start_page)
+            last_cached = (
+                self._resident_content(start_page + n_pages - 1)
+                if n_pages > 1
+                else None
             )
-        if last_cached is not None:
-            chunks.append(last_cached.ljust(page_size, b"\x00"))
-        return payload_concat(chunks)
+            middle_start = start_page + (1 if first_cached is not None else 0)
+            middle_end = (
+                start_page + n_pages - (1 if last_cached is not None else 0)
+            )
+            chunks: list[Payload] = []
+            if first_cached is not None:
+                chunks.append(first_cached.ljust(page_size, b"\x00"))
+            if middle_end > middle_start:
+                chunks.append(
+                    self.pool.disk.read_pages(
+                        middle_start, middle_end - middle_start
+                    )
+                )
+            if last_cached is not None:
+                chunks.append(last_cached.ljust(page_size, b"\x00"))
+            return payload_concat(chunks)
 
     def read_boundary_unaligned(
         self, segment_page: int, byte_off: int, nbytes: int
@@ -116,30 +139,39 @@ class SegmentIO:
         first = byte_off // page_size
         last = (byte_off + nbytes - 1) // page_size
         n_pages = last - first + 1
-        if self._should_buffer(n_pages):
-            data = self.pool.read_run(segment_page + first, n_pages,
-                                      record=self.record_leaf_data)
+        buffered = self._should_buffer(n_pages)
+        with self._span(
+            "segio.read_unaligned",
+            start=segment_page + first,
+            pages_n=n_pages,
+            buffered=buffered,
+        ):
+            if buffered:
+                data = self.pool.read_run(segment_page + first, n_pages,
+                                          record=self.record_leaf_data)
+                start = byte_off - first * page_size
+                return data[start : start + nbytes]
+
+            left_unaligned = byte_off % page_size != 0
+            right_unaligned = (byte_off + nbytes) % page_size != 0
+            chunks: list[Payload] = []
+            middle_start = segment_page + first
+            middle_count = n_pages
+            if left_unaligned:
+                chunks.append(self._read_one_page(segment_page + first))
+                middle_start += 1
+                middle_count -= 1
+            if right_unaligned and middle_count > 0:
+                middle_count -= 1
+            if middle_count > 0:
+                chunks.append(
+                    self.pool.disk.read_pages(middle_start, middle_count)
+                )
+            if right_unaligned and (not left_unaligned or n_pages > 1):
+                chunks.append(self._read_one_page(segment_page + last))
+            data = payload_concat(chunks)
             start = byte_off - first * page_size
             return data[start : start + nbytes]
-
-        left_unaligned = byte_off % page_size != 0
-        right_unaligned = (byte_off + nbytes) % page_size != 0
-        chunks: list[Payload] = []
-        middle_start = segment_page + first
-        middle_count = n_pages
-        if left_unaligned:
-            chunks.append(self._read_one_page(segment_page + first))
-            middle_start += 1
-            middle_count -= 1
-        if right_unaligned and middle_count > 0:
-            middle_count -= 1
-        if middle_count > 0:
-            chunks.append(self.pool.disk.read_pages(middle_start, middle_count))
-        if right_unaligned and (not left_unaligned or n_pages > 1):
-            chunks.append(self._read_one_page(segment_page + last))
-        data = payload_concat(chunks)
-        start = byte_off - first * page_size
-        return data[start : start + nbytes]
 
     # ------------------------------------------------------------------
     # Writes
@@ -155,9 +187,10 @@ class SegmentIO:
         page_size = self.config.page_size
         if n_pages is None:
             n_pages = -(-len(data) // page_size)
-        self.pool.write_run(
-            start_page, n_pages, data, record=self.record_leaf_data
-        )
+        with self._span("segio.write", start=start_page, pages_n=n_pages):
+            self.pool.write_run(
+                start_page, n_pages, data, record=self.record_leaf_data
+            )
 
     # ------------------------------------------------------------------
     # Internals

@@ -65,13 +65,14 @@ class StarburstManager(LargeObjectManager):
         """Create a long field; known content is laid out in maximum-size
         segments with the last one trimmed (Section 2.2).
         """
-        page_id = self.env.areas.meta.allocate(1)
-        descriptor = LongFieldDescriptor(page_id, self.config)
-        self._fields[page_id] = descriptor
-        with self._op(descriptor):
-            if data:
-                self._create_known_size(descriptor, data)
-        return page_id
+        with self._op_span("create"):
+            page_id = self.env.areas.meta.allocate(1)
+            descriptor = LongFieldDescriptor(page_id, self.config)
+            self._fields[page_id] = descriptor
+            with self._op(descriptor):
+                if data:
+                    self._create_known_size(descriptor, data)
+            return page_id
 
     def _create_known_size(
         self, descriptor: LongFieldDescriptor, data: Payload
@@ -97,10 +98,11 @@ class StarburstManager(LargeObjectManager):
     def destroy(self, oid: int) -> None:
         """Free all segments and the descriptor page of the long field."""
         descriptor = self._descriptor(oid)
-        for segment in descriptor.segments:
-            self.env.areas.data.free(segment.page_id, segment.alloc_pages)
-        self.env.areas.meta.free(descriptor.page_id, 1)
-        del self._fields[oid]
+        with self._op_span("destroy", oid):
+            for segment in descriptor.segments:
+                self.env.areas.data.free(segment.page_id, segment.alloc_pages)
+            self.env.areas.meta.free(descriptor.page_id, 1)
+            del self._fields[oid]
 
     def size(self, oid: int) -> int:
         """Current long-field size in bytes, from the descriptor."""
@@ -115,22 +117,23 @@ class StarburstManager(LargeObjectManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
-        self._touch_descriptor(descriptor)
-        index, within = descriptor.locate(offset)
-        pieces: list[Payload] = []
-        remaining = nbytes
-        while remaining > 0:
-            segment = descriptor.segments[index]
-            take = min(segment.used_bytes - within, remaining)
-            pieces.append(
-                self.env.segio.read_boundary_unaligned(
-                    segment.page_id, within, take
+        with self._op_span("read", oid):
+            self._touch_descriptor(descriptor)
+            index, within = descriptor.locate(offset)
+            pieces: list[Payload] = []
+            remaining = nbytes
+            while remaining > 0:
+                segment = descriptor.segments[index]
+                take = min(segment.used_bytes - within, remaining)
+                pieces.append(
+                    self.env.segio.read_boundary_unaligned(
+                        segment.page_id, within, take
+                    )
                 )
-            )
-            remaining -= take
-            within = 0
-            index += 1
-        return payload_concat(pieces)
+                remaining -= take
+                within = 0
+                index += 1
+            return payload_concat(pieces)
 
     # ------------------------------------------------------------------
     # Append
@@ -140,7 +143,7 @@ class StarburstManager(LargeObjectManager):
         descriptor = self._descriptor(oid)
         if not data:
             return
-        with self._op(descriptor):
+        with self._op_span("append", oid), self._op(descriptor):
             self._touch_descriptor(descriptor)
             remaining = payload_view(data)
             if descriptor.segments:
@@ -178,7 +181,7 @@ class StarburstManager(LargeObjectManager):
     def trim(self, oid: int) -> None:
         """Trim the last segment: free its unused blocks at the right end."""
         descriptor = self._descriptor(oid)
-        with self._op(descriptor):
+        with self._op_span("trim", oid), self._op(descriptor):
             self._trim_last(descriptor)
 
     # ------------------------------------------------------------------
@@ -195,7 +198,7 @@ class StarburstManager(LargeObjectManager):
         if not descriptor.segments or offset == descriptor.total_bytes:
             self.append(oid, data)
             return
-        with self._op(descriptor):
+        with self._op_span("insert", oid), self._op(descriptor):
             self._touch_descriptor(descriptor)
             index, within = descriptor.locate(offset)
             start = descriptor.segment_start(index)
@@ -215,7 +218,7 @@ class StarburstManager(LargeObjectManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return
-        with self._op(descriptor):
+        with self._op_span("delete", oid), self._op(descriptor):
             self._touch_descriptor(descriptor)
             index, within = descriptor.locate(offset)
             start = descriptor.segment_start(index)
@@ -236,7 +239,7 @@ class StarburstManager(LargeObjectManager):
         self._check_range(oid, offset, len(data))
         if not data:
             return
-        with self._op(descriptor):
+        with self._op_span("replace", oid), self._op(descriptor):
             self._touch_descriptor(descriptor)
             index, within = descriptor.locate(offset)
             remaining = payload_view(data)
@@ -320,6 +323,13 @@ class StarburstManager(LargeObjectManager):
 
     def _flush_descriptor(self, descriptor: LongFieldDescriptor) -> None:
         """Keep the descriptor's disk image current, without I/O charges."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.event(
+                "descriptor.flush",
+                page=descriptor.page_id,
+                segments=len(descriptor.segments),
+            )
         data = descriptor.serialize(DATA_AREA_BASE)
         self.env.pool.disk.poke_pages(descriptor.page_id, data)
         self.env.pool.update_if_resident(descriptor.page_id, data)

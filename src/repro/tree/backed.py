@@ -37,27 +37,29 @@ class TreeBackedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     def create(self, data: Payload = b"") -> int:
         """Create an object backed by a fresh positional count tree."""
-        tree = PositionalTree(
-            self.config,
-            self.env.pool,
-            self.env.areas.meta,
-            data_base=DATA_AREA_BASE,
-            shadow=self.env.shadow,
-            leaf_alloc_pages=self._leaf_alloc_pages,
-        )
-        oid = tree.create()
-        self._objects[oid] = tree
-        with self._op(tree):
-            if data:
-                self._extend_fresh(tree, data)
-        return oid
+        with self._op_span("create"):
+            tree = PositionalTree(
+                self.config,
+                self.env.pool,
+                self.env.areas.meta,
+                data_base=DATA_AREA_BASE,
+                shadow=self.env.shadow,
+                leaf_alloc_pages=self._leaf_alloc_pages,
+            )
+            oid = tree.create()
+            self._objects[oid] = tree
+            with self._op(tree):
+                if data:
+                    self._extend_fresh(tree, data)
+            return oid
 
     def destroy(self, oid: int) -> None:
         """Free every leaf segment and index page of the object."""
         tree = self._tree(oid)
-        for extent in tree.destroy():
-            self.env.areas.data.free(extent.page_id, extent.alloc_pages)
-        del self._objects[oid]
+        with self._op_span("destroy", oid):
+            for extent in tree.destroy():
+                self.env.areas.data.free(extent.page_id, extent.alloc_pages)
+            del self._objects[oid]
 
     def size(self, oid: int) -> int:
         """Current object size in bytes (the tree's total count)."""
@@ -77,12 +79,13 @@ class TreeBackedManager(LargeObjectManager):
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
-        pieces: list[Payload] = []
-        for extent, start in tree.extents_covering(offset, nbytes):
-            lo = max(offset, start) - start
-            hi = min(offset + nbytes, start + extent.used_bytes) - start
-            pieces.append(self._read_extent(extent, lo, hi - lo))
-        return payload_concat(pieces)
+        with self._op_span("read", oid):
+            pieces: list[Payload] = []
+            for extent, start in tree.extents_covering(offset, nbytes):
+                lo = max(offset, start) - start
+                hi = min(offset + nbytes, start + extent.used_bytes) - start
+                pieces.append(self._read_extent(extent, lo, hi - lo))
+            return payload_concat(pieces)
 
     def _read_extent(self, extent: LeafExtent, start: int,
                      nbytes: int) -> Payload:

@@ -17,9 +17,10 @@ all modified pages are flushed at the end of the operation.
 from __future__ import annotations
 
 import bisect
+import contextlib
 import dataclasses
 import itertools
-from typing import Callable, Iterator
+from typing import Callable, ContextManager, Iterator
 
 from repro.buddy.allocator import BuddyAllocator
 from repro.buffer.pool import BufferPool
@@ -31,6 +32,10 @@ from repro.tree.node import Entry, IndexNode, LeafExtent
 #: Signature of the hook that recomputes a segment's allocated page count
 #: when a node is rebuilt from disk: (used_bytes, is_rightmost) -> pages.
 LeafAllocFn = Callable[[int, bool], int]
+
+#: Shared no-op context used when tracing is off, so the disabled flush
+#: path allocates nothing per operation.
+_NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
 
 
 @dataclasses.dataclass(slots=True)
@@ -113,6 +118,22 @@ class PositionalTree:
         return extents
 
     # ------------------------------------------------------------------
+    # Tracing hooks
+    # ------------------------------------------------------------------
+    def _span(self, kind: str, **attrs: object) -> ContextManager[None]:
+        """A tracing span around one tree-level action (or a no-op)."""
+        tracer = self.pool.disk.tracer
+        if tracer is None:
+            return _NULL_SPAN
+        return tracer.span(kind, **attrs)
+
+    def _event(self, kind: str, **attrs: object) -> None:
+        """Record a structural tree event (split/merge/borrow) if traced."""
+        tracer = self.pool.disk.tracer
+        if tracer is not None:
+            tracer.event(kind, **attrs)
+
+    # ------------------------------------------------------------------
     # Operation brackets
     # ------------------------------------------------------------------
     def begin_op(self) -> None:
@@ -134,20 +155,25 @@ class PositionalTree:
             return
         root_dirty = self.root_page_id in self._dirty
         self._dirty.discard(self.root_page_id)
-        self._flush_non_root()
-        if root_dirty:
-            # The root write is the operation's commit point: it lands
-            # only after every shadowed index page is safely on disk.
-            root = self._nodes[self.root_page_id]
-            self.pool.disk.poke_pages(
-                self.root_page_id, self._serialize_node(root)
-            )
-            self.pool.update_if_resident(
-                self.root_page_id,
-                self.pool.disk.peek_pages(self.root_page_id, 1),
-            )
-            root.dirty = False
-            root.shadowed_this_op = False
+        with self._span(
+            "tree.flush",
+            pages_n=len(self._dirty),
+            root_dirty=root_dirty,
+        ):
+            self._flush_non_root()
+            if root_dirty:
+                # The root write is the operation's commit point: it lands
+                # only after every shadowed index page is safely on disk.
+                root = self._nodes[self.root_page_id]
+                self.pool.disk.poke_pages(
+                    self.root_page_id, self._serialize_node(root)
+                )
+                self.pool.update_if_resident(
+                    self.root_page_id,
+                    self.pool.disk.peek_pages(self.root_page_id, 1),
+                )
+                root.dirty = False
+                root.shadowed_this_op = False
 
     def _flush_non_root(self) -> None:
         if not self._dirty:
@@ -428,6 +454,7 @@ class PositionalTree:
                 self._split_root(node)
                 return
             parent, child_index = path[-1]
+            self._event("tree.split.node", level=node.level)
             sibling = self._new_node(node.level)
             half = len(node.entries) // 2
             sibling.entries = node.entries[half:]
@@ -447,6 +474,9 @@ class PositionalTree:
 
     def _split_root(self, root: IndexNode) -> None:
         """Split an overfull root into two children, growing the height."""
+        self._event(
+            "tree.split.root", level=root.level, height=self.height + 1
+        )
         left = self._new_node(root.level)
         right = self._new_node(root.level)
         half = len(root.entries) // 2
@@ -498,6 +528,7 @@ class PositionalTree:
         )
         minimum = self._min_fanout(node)
         if left_sibling is not None and len(left_sibling.entries) > minimum:
+            self._event("tree.borrow", level=node.level, source="left")
             self._relocate_if_needed(left_sibling, (parent, child_index - 1))
             moved = left_sibling.entries.pop()
             left_sibling.counts_changed(len(left_sibling.entries))
@@ -511,6 +542,7 @@ class PositionalTree:
             self._mark_node_dirty(parent)
             return False
         if right_sibling is not None and len(right_sibling.entries) > minimum:
+            self._event("tree.borrow", level=node.level, source="right")
             self._relocate_if_needed(right_sibling, (parent, child_index + 1))
             moved = right_sibling.entries.pop(0)
             right_sibling.counts_changed()
@@ -534,6 +566,7 @@ class PositionalTree:
             # Only child: nothing to merge with; tolerated under the
             # B-tree rules only while the parent is the root.
             return False
+        self._event("tree.merge", level=node.level)
         self._relocate_if_needed(keeper, (parent, keeper_index))
         keeper_old_len = len(keeper.entries)
         keeper.entries.extend(victim.entries)
@@ -552,6 +585,9 @@ class PositionalTree:
             child = self._get_node(root.entries[0].ref)
             if len(child.entries) > self.config.root_fanout:
                 return
+            self._event(
+                "tree.collapse.root", level=child.level, height=self.height - 1
+            )
             root.entries = child.entries
             root.counts_changed()
             root.level = child.level

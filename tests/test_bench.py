@@ -129,7 +129,7 @@ class TestCLI:
         )
         monkeypatch.setattr(
             bench_cli, "run_bench",
-            lambda scale, repeat=1, only=None: [slow],
+            lambda scale, repeat=1, only=None, traced=False: [slow],
         )
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({
@@ -213,3 +213,37 @@ class TestProfileMode:
         assert "--- profile: build/esm" in out
         assert "ncalls" in out
         assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+class TestSpans:
+    def test_traced_run_attaches_span_summaries(self):
+        only = {"random/esm"}
+        plain = run_bench(resolve_scale("tiny"), only=only)
+        traced = run_bench(resolve_scale("tiny"), only=only, traced=True)
+        assert plain[0].spans is None
+        assert "spans" not in plain[0].to_dict()
+        spans = traced[0].spans
+        assert spans is not None
+        measure = spans["measure"]
+        assert measure["io_calls"] > 0
+        # Simulated fields never move: the timed passes are untraced
+        # either way, and the extra traced pass only contributes spans.
+        assert traced[0].sim_s == plain[0].sim_s
+        assert traced[0].io_calls == plain[0].io_calls
+        assert traced[0].pages == plain[0].pages
+        # The measured phase's exact cost is the point's simulated time.
+        assert measure["cost_ms"] == pytest.approx(traced[0].sim_s * 1000.0)
+        ops = measure["ops"]
+        assert ops and all(entry["count"] > 0 for entry in ops.values())
+
+    def test_spans_flag_writes_format_3(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_X.json"
+        assert bench_cli.main(
+            ["--scale", "tiny", "--point", "build/esm", "--spans",
+             "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["version"] == 3
+        point = document["points"][0]
+        assert point["spans"]["measure"]["pages"] == point["pages"]

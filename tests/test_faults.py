@@ -328,3 +328,74 @@ class TestInjectorLifecycle:
         injector = FaultInjector(store.env.disk, FaultPlan()).install()
         assert store.env.disk.fault_site is injector
         injector.uninstall()
+
+
+# ----------------------------------------------------------------------
+# Retry accounting: retried attempts land once in `retries` AND once in
+# the base call/page counters (the charge_retry_* contract)
+# ----------------------------------------------------------------------
+class TestRetryAccounting:
+    def _two_adjacent_pages(self, store):
+        """(page_id, page_count) of a written 2-page run on the disk."""
+        disk = store.env.disk
+        written = sorted(
+            p for p, content in disk._pages.items() if content is not None
+        )
+        for page in written:
+            if page + 1 in disk._pages:
+                return page
+        raise AssertionError("no adjacent written pages")
+
+    def test_retried_write_counts_once_in_retries_and_base(self):
+        store = make_store()
+        store.create(pattern_bytes(4 * PAGE))
+        page = self._two_adjacent_pages(store)
+        before = store.snapshot()
+        plan = FaultPlan(write_faults=at(1), transient_failures=1)
+        with FaultInjector(store.env, plan):
+            store.env.disk.write_pages(page, 2, pattern_bytes(2 * PAGE, 1))
+        delta = store.stats.delta(before)
+        # One logical write = the failed first attempt (charged as a
+        # retry AND as a base call) plus the successful second attempt.
+        assert delta.retries == 1
+        assert delta.write_calls == 2
+        assert delta.pages_written == 4
+        assert delta.read_calls == 0
+
+    def test_retried_read_counts_once_in_retries_and_base(self):
+        store = make_store()
+        store.create(pattern_bytes(4 * PAGE))
+        page = self._two_adjacent_pages(store)
+        before = store.snapshot()
+        plan = FaultPlan(read_faults=at(1), transient_failures=1)
+        with FaultInjector(store.env, plan):
+            store.env.disk.read_pages(page, 2)
+        delta = store.stats.delta(before)
+        assert delta.retries == 1
+        assert delta.read_calls == 2
+        assert delta.pages_read == 4
+        assert delta.write_calls == 0
+
+    def test_torn_write_replay_still_counts_the_retry_once(self):
+        # A transient fault on the first attempt, then a torn write on
+        # the replayed attempt: the retry must appear exactly once in
+        # `retries` and the torn attempt is still a charged base call.
+        store = make_store()
+        store.create(pattern_bytes(4 * PAGE))
+        page = self._two_adjacent_pages(store)
+        before = store.snapshot()
+        plan = FaultPlan(
+            write_faults=at(1),
+            torn_writes=at(1),
+            transient_failures=1,
+            torn_prefix_pages=1,
+        )
+        with FaultInjector(store.env, plan):
+            with pytest.raises(CrashError):
+                store.env.disk.write_pages(
+                    page, 2, pattern_bytes(2 * PAGE, 2)
+                )
+        delta = store.stats.delta(before)
+        assert delta.retries == 1
+        assert delta.write_calls == 2
+        assert delta.pages_written == 4
