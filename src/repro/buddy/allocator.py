@@ -161,15 +161,20 @@ class BuddyAllocator:
         """
         space = self._spaces[index]
         page_id = self._directory_page(index)
-        self.pool.fix(page_id)
         offset: int | None = None
-        if space.max_free_order() >= needed_order:
-            offset = space.allocate(n_pages)
-        self._superdirectory[index] = space.max_free_order()
-        changed = offset is not None
-        if changed:
-            self.pool.set_provider(page_id, lambda: serialize_directory(space))
-        self.pool.unfix(page_id, dirty=changed)
+        changed = False
+        self.pool.fix(page_id)
+        try:
+            if space.max_free_order() >= needed_order:
+                offset = space.allocate(n_pages)
+            self._superdirectory[index] = space.max_free_order()
+            changed = offset is not None
+            if changed:
+                self.pool.set_provider(
+                    page_id, lambda: serialize_directory(space)
+                )
+        finally:
+            self.pool.unfix(page_id, dirty=changed)
         return offset
 
     def _visit_directory(
@@ -180,13 +185,18 @@ class BuddyAllocator:
         space = self._spaces[space_index]
         page_id = self._directory_page(space_index)
         before = (space.free_blocks, space.max_free_order())
+        changed = False
         self.pool.fix(page_id)
-        mutate()
-        changed = (space.free_blocks, space.max_free_order()) != before
-        self._superdirectory[space_index] = space.max_free_order()
-        if changed:
-            self.pool.set_provider(page_id, lambda: serialize_directory(space))
-        self.pool.unfix(page_id, dirty=changed)
+        try:
+            mutate()
+            changed = (space.free_blocks, space.max_free_order()) != before
+            self._superdirectory[space_index] = space.max_free_order()
+            if changed:
+                self.pool.set_provider(
+                    page_id, lambda: serialize_directory(space)
+                )
+        finally:
+            self.pool.unfix(page_id, dirty=changed)
 
     def _add_space(self) -> int:
         """Grow the area by one buddy space; returns its index."""
@@ -196,6 +206,10 @@ class BuddyAllocator:
         index = len(self._spaces) - 1
         page_id = self._directory_page(index)
         self.pool.fix_new(page_id)
-        self.pool.set_provider(page_id, lambda: serialize_directory(space))
-        self.pool.unfix(page_id, dirty=True)
+        try:
+            self.pool.set_provider(
+                page_id, lambda: serialize_directory(space)
+            )
+        finally:
+            self.pool.unfix(page_id, dirty=True)
         return index

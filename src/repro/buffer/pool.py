@@ -16,14 +16,15 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import sys
 from typing import Callable
 
 from repro.buffer.frame import Frame
 from repro.core.config import SystemConfig
-from repro.core.errors import BufferPoolError
+from repro.core.errors import BufferPoolError, ContractViolationError
 from repro.core.payload import Payload, payload_concat
 from repro.disk.disk import SimulatedDisk
-from repro.lint.contracts import pure_read
+from repro.lint.contracts import pure_read, sanitizer_enabled
 
 
 @dataclasses.dataclass
@@ -61,6 +62,10 @@ class BufferPool:
         #: every pin/unpin so availability queries are O(1).
         self._pinned = 0
         self.stats = PoolStats()
+        #: ``REPRO_SAN=1`` bookkeeping: page id -> acquisition sites of
+        #: the pins currently held on it, for leak attribution.  Empty
+        #: (and never touched) when the sanitizer is off.
+        self._san_pins: dict[int, list[str]] = {}
 
     # ------------------------------------------------------------------
     # Fix / unfix
@@ -84,6 +89,8 @@ class BufferPool:
         if frame.pin_count == 1:
             self._pinned += 1
         self._touch(frame)
+        if sanitizer_enabled():
+            self._san_note(page_id)
         return frame
 
     def fix_new(self, page_id: int, data: Payload | None = None,
@@ -101,6 +108,8 @@ class BufferPool:
         self._frames[page_id] = frame
         self._pinned += 1
         self._touch(frame)
+        if sanitizer_enabled():
+            self._san_note(page_id)
         return frame
 
     def unfix(self, page_id: int, dirty: bool = False) -> None:
@@ -113,6 +122,57 @@ class BufferPool:
             self._pinned -= 1
         if dirty:
             frame.dirty = True
+        if self._san_pins:
+            sites = self._san_pins.get(page_id)
+            if sites:
+                sites.pop()
+                if not sites:
+                    del self._san_pins[page_id]
+
+    # ------------------------------------------------------------------
+    # REPRO_SAN pin-balance sanitizer
+    # ------------------------------------------------------------------
+    def _san_note(self, page_id: int) -> None:
+        """Record the call site that just pinned ``page_id``."""
+        caller = sys._getframe(2)
+        site = (
+            f"{caller.f_code.co_filename.rsplit('/', 1)[-1]}:"
+            f"{caller.f_lineno} ({caller.f_code.co_name})"
+        )
+        self._san_pins.setdefault(page_id, []).append(site)
+
+    def assert_pin_balanced(self, context: str = "") -> None:
+        """Raise unless every page's pin count is back to zero.
+
+        The runtime mirror of the static FLOW001 typestate rule: called
+        between operations (``REPRO_SAN=1`` hooks it into every manager
+        op span), when no frame may still be pinned.  The error message
+        names the leaked pages and, when the sanitizer recorded them,
+        the exact fix()/fix_new() call sites that acquired the pins.
+        """
+        leaked = {
+            page_id: frame.pin_count
+            for page_id, frame in self._frames.items()
+            if frame.pin_count > 0
+        }
+        where = f" after {context}" if context else ""
+        if not leaked:
+            if self._pinned:
+                raise ContractViolationError(
+                    f"pin accounting drift{where}: _pinned={self._pinned} "
+                    "but no frame holds a pin"
+                )
+            return
+        details = []
+        for page_id in sorted(leaked):
+            sites = ", ".join(self._san_pins.get(page_id, ()))
+            details.append(
+                f"page {page_id} x{leaked[page_id]}"
+                + (f" (fixed at {sites})" if sites else "")
+            )
+        raise ContractViolationError(
+            f"pin leak{where}: " + "; ".join(details)
+        )
 
     def set_provider(self, page_id: int, provider: Callable[[], bytes]) -> None:
         """Attach a lazy content provider to a resident page."""

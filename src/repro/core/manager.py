@@ -16,11 +16,25 @@ from typing import ContextManager
 from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, ObjectNotFoundError
 from repro.core.payload import Payload
+from repro.lint.contracts import sanitizer_enabled
 
 #: Shared no-op context returned by :meth:`LargeObjectManager._op_span`
 #: when tracing is off: operations are the hottest spans in the stack, so
 #: the disabled path must not allocate anything per call.
 _NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
+
+
+@contextlib.contextmanager
+def _san_guarded(pool, op: str, span: ContextManager[None]):
+    """Wrap an op span with the ``REPRO_SAN=1`` pin-balance assertion.
+
+    The check runs on *normal* exit only: a crashed or failed operation
+    legitimately unwinds through ``finally:`` cleanup, and asserting
+    mid-unwind would mask the original error.
+    """
+    with span:
+        yield
+    pool.assert_pin_balanced(op)
 
 
 class LargeObjectManager(abc.ABC):
@@ -42,10 +56,14 @@ class LargeObjectManager(abc.ABC):
         """
         tracer = self.env.tracer
         if tracer is None:
-            return _NULL_SPAN
-        if oid is None:
-            return tracer.span(f"op.{op}", scheme=self.scheme)
-        return tracer.span(f"op.{op}", scheme=self.scheme, oid=oid)
+            span = _NULL_SPAN
+        elif oid is None:
+            span = tracer.span(f"op.{op}", scheme=self.scheme)
+        else:
+            span = tracer.span(f"op.{op}", scheme=self.scheme, oid=oid)
+        if sanitizer_enabled():
+            return _san_guarded(self.env.pool, f"op.{op}", span)
+        return span
 
     # ------------------------------------------------------------------
     # Object lifecycle

@@ -11,7 +11,12 @@ import pathlib
 import sys
 
 from repro.lint.engine import lint_paths
-from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.lint.reporters import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import RULES
 
 
@@ -33,9 +38,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "additionally run the whole-program flow analysis "
+            "(FLOW/DET/CHG rule families) over the given paths"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -59,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     known = set(RULES)
+    if args.flow:
+        from repro.lint.flow.rules import FLOW_RULES
+
+        known |= set(FLOW_RULES) | {"FLOW000"}
     select = _parse_rule_set(parser, args.select, known)
     ignore = _parse_rule_set(parser, args.ignore, known)
     paths = [pathlib.Path(p) for p in args.paths]
@@ -66,7 +83,17 @@ def main(argv: list[str] | None = None) -> int:
         if not path.exists():
             parser.error(f"no such file or directory: {path}")
     violations = lint_paths(paths, select=select, ignore=ignore)
-    renderer = render_json if args.format == "json" else render_text
+    if args.flow:
+        from repro.lint.flow.rules import analyze_paths
+
+        violations = sorted(
+            set(violations)
+            | set(analyze_paths(paths, select=select, ignore=ignore))
+        )
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     print(renderer(violations))
     return 1 if violations else 0
 

@@ -52,6 +52,26 @@ def runtime_checks_enabled() -> bool:
     return os.environ.get(RUNTIME_FLAG, "") == "1"
 
 
+#: Environment variable that switches the pin-balance sanitizer on.  The
+#: sanitizer is the runtime mirror of the static FLOW001 typestate rule
+#: (``repro.lint --flow``): FLOW001 proves fix/unfix balance over the
+#: modeled CFG; ``REPRO_SAN=1`` asserts it on the paths actually taken,
+#: with acquisition-site attribution, so each check validates the other.
+SANITIZER_FLAG = "REPRO_SAN"
+
+try:
+    _SAN_KEY = os.environ.encodekey(SANITIZER_FLAG)  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - non-CPython environ layout
+    _SAN_KEY = SANITIZER_FLAG
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_SAN=1`` is set in the environment."""
+    if _ENV_DATA is not None:
+        return _ENV_DATA.get(_SAN_KEY) == _FLAG_ON
+    return os.environ.get(SANITIZER_FLAG, "") == "1"
+
+
 def _find_disk(obj: Any) -> Any | None:
     """Locate the simulated disk reachable from ``obj``, if any.
 

@@ -1,0 +1,84 @@
+"""Forward dataflow over :mod:`repro.lint.flow.cfg` graphs.
+
+A client :class:`Analysis` supplies the lattice — an initial state, a
+per-item transfer function, and a join — and :func:`run_forward` computes
+the fixpoint with a worklist.  States must be immutable and hashable
+(frozensets / tuples) so convergence checks are plain equality.
+
+Edge semantics:
+
+* ``"normal"`` and ``"back"`` successors observe the state *after* the
+  block's item executed (:meth:`Analysis.transfer`);
+* ``"exception"`` successors observe
+  :meth:`Analysis.transfer_exception`, which defaults to the *pre* state
+  (an aborted statement publishes none of its effects).  Clients override
+  it when a statement's partial effects matter on the exceptional path —
+  e.g. the pin-typestate analysis applies releases but not acquires, so a
+  failing ``unfix(p)`` call is not misreported as a leak of ``p``.
+
+Termination: the framework iterates until no in-state changes.  Clients
+are responsible for a finite lattice (the pin analysis caps pin counts
+and keys by source expressions, both bounded by the function text).
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+from typing import Generic, Hashable, TypeVar
+
+from repro.lint.flow.cfg import CFG, Block, Item
+
+S = TypeVar("S", bound=Hashable)
+
+
+class Analysis(abc.ABC, Generic[S]):
+    """One forward dataflow problem over a single CFG."""
+
+    @abc.abstractmethod
+    def initial(self) -> S:
+        """State at the function entry."""
+
+    @abc.abstractmethod
+    def transfer(self, state: S, item: Item) -> S:
+        """State after ``item`` executes normally from ``state``."""
+
+    @abc.abstractmethod
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states at a merge point."""
+
+    def transfer_exception(self, state: S, item: Item) -> S:
+        """State observed on ``item``'s exception edge (default: pre-state)."""
+        return state
+
+
+def run_forward(cfg: CFG, analysis: Analysis[S]) -> dict[int, S]:
+    """Fixpoint in-states, keyed by block id.
+
+    Unreachable blocks are absent from the result.  The interesting
+    observation points are ``result.get(cfg.exit.bid)`` (state on normal
+    return) and ``result.get(cfg.raise_exit.bid)`` (state when an
+    exception escapes).
+    """
+    in_states: dict[int, S] = {cfg.entry.bid: analysis.initial()}
+    worklist: collections.deque[Block] = collections.deque([cfg.entry])
+    queued = {cfg.entry.bid}
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.bid)
+        state = in_states[block.bid]
+        out = state
+        exc_out = state
+        for item in block.items:  # blocks hold at most one item
+            out = analysis.transfer(out, item)
+            exc_out = analysis.transfer_exception(exc_out, item)
+        for succ, kind in block.succs:
+            pushed = exc_out if kind == "exception" else out
+            old = in_states.get(succ.bid)
+            new = pushed if old is None else analysis.join(old, pushed)
+            if new != old:
+                in_states[succ.bid] = new
+                if succ.bid not in queued:
+                    queued.add(succ.bid)
+                    worklist.append(succ)
+    return in_states

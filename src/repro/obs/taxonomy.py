@@ -1,0 +1,78 @@
+"""Closed taxonomy of span and event kinds emitted by the tracer.
+
+Every ``tracer.span(kind, ...)`` / ``tracer.event(kind, ...)`` call in
+``src/repro`` uses a kind from this module.  The taxonomy gives the
+observability pipeline (PR 5) a stable vocabulary — summaries, cost
+attribution, and the exact span-decomposition invariant all group by
+these strings — and gives the static analyzer a cross-check: CHG001
+(``repro.lint --flow``) rejects any ``_op_span("<name>")`` whose
+``op.<name>`` is not listed here, so a typo cannot open a span the
+pipeline cannot classify.
+
+Keep this list in sync when adding instrumentation; adding a kind here
+is a deliberate, reviewed act of extending the trace vocabulary.
+"""
+
+from __future__ import annotations
+
+#: Paper-facing byte-range operations (``LargeObjectManager`` overrides).
+OP_SPAN_KINDS: frozenset[str] = frozenset({
+    "op.create",
+    "op.destroy",
+    "op.read",
+    "op.append",
+    "op.trim",
+    "op.insert",
+    "op.delete",
+    "op.replace",
+})
+
+#: Interior spans: segment I/O, tree maintenance, bench phases.
+INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
+    "segio.read",
+    "segio.read_unaligned",
+    "segio.write",
+    "tree.flush",
+    "bench.setup",
+    "bench.measure",
+})
+
+#: Every legal ``tracer.span(...)`` kind.
+SPAN_KINDS: frozenset[str] = OP_SPAN_KINDS | INTERIOR_SPAN_KINDS
+
+#: Every legal ``tracer.event(...)`` / ``tracer.io_event(...)`` kind.
+EVENT_KINDS: frozenset[str] = frozenset({
+    "disk.read",
+    "disk.write",
+    "disk.retry.read",
+    "disk.retry.write",
+    "disk.torn_write",
+    "disk.checksum_fail",
+    "pool.writeback",
+    "pool.evict",
+    "tree.split.node",
+    "tree.split.root",
+    "tree.borrow",
+    "tree.merge",
+    "tree.collapse.root",
+    "descriptor.flush",
+    "fault.read",
+    "fault.write",
+    "fault.crash",
+    "fault.torn",
+    "fault.corrupt",
+    "log",
+})
+
+#: The whole vocabulary, spans and events together.
+ALL_KINDS: frozenset[str] = SPAN_KINDS | EVENT_KINDS
+
+
+def is_known_span(kind: str) -> bool:
+    """True when ``kind`` is a sanctioned span kind."""
+    return kind in SPAN_KINDS
+
+
+def is_known_event(kind: str) -> bool:
+    """True when ``kind`` is a sanctioned event kind."""
+    return kind in EVENT_KINDS

@@ -60,7 +60,10 @@ class RecordStore:
             return self._place(body)
         except Exception:
             for oid in created:
-                self.manager.destroy(oid)
+                # Compensation, not cleanup: the record never existed, so
+                # rolling back its LONG objects restores the pre-insert
+                # image; nothing half-written survives into the store.
+                self.manager.destroy(oid)  # repro-lint: disable=FLOW002 -- deliberate undo of freshly created objects on a failed insert; restores pre-op state rather than flushing post-crash state
             raise
 
     def get(self, rid: RecordId) -> dict[str, object]:
@@ -203,13 +206,15 @@ class RecordStore:
             raise ObjectNotFoundError(f"no record page {page_id}")
         if page_id not in self._cache:
             self.env.pool.fix(page_id)
-            frame = self.env.pool.lookup(page_id)
-            assert frame is not None
-            self._cache[page_id] = SlottedPage(
-                self.env.config.page_size,
-                frame.content().ljust(self.env.config.page_size, b"\x00"),
-            )
-            self.env.pool.unfix(page_id)
+            try:
+                frame = self.env.pool.lookup(page_id)
+                assert frame is not None
+                self._cache[page_id] = SlottedPage(
+                    self.env.config.page_size,
+                    frame.content().ljust(self.env.config.page_size, b"\x00"),
+                )
+            finally:
+                self.env.pool.unfix(page_id)
         else:
             # Charge the access like any small-object page touch.
             self.env.pool.fix(page_id)

@@ -99,7 +99,7 @@ class TreeBackedManager(LargeObjectManager):
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def allocated_pages(self, oid: int) -> int:
+    def allocated_pages(self, oid: int) -> int:  # repro-lint: disable=CHG001 -- space accounting run between timed phases; its reads are charged to the enclosing bench phase, not to a paper op
         """Leaf pages plus index pages currently allocated to the object."""
         tree = self._tree(oid)
         leaf_pages = sum(
@@ -122,11 +122,18 @@ class TreeBackedManager(LargeObjectManager):
 
     @contextlib.contextmanager
     def _op(self, tree: PositionalTree):
+        """Operation bracket: flush modified index pages on success only.
+
+        The flush must NOT live in a ``finally:`` — after an injected
+        crash the environment is dead, and pushing half-applied index
+        state at the disk from cleanup is exactly the bug class PR 4's
+        halt latch contains at runtime (and FLOW002 now rejects
+        statically).  A failed operation leaves its dirty marks in
+        place; the next successful operation flushes them.
+        """
         tree.begin_op()
-        try:
-            yield
-        finally:
-            tree.end_op()
+        yield
+        tree.end_op()
 
     def _extend_fresh(self, tree: PositionalTree, data: Payload) -> None:
         """Lay brand-new bytes out at the end of an (empty) object."""

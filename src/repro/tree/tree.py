@@ -138,7 +138,7 @@ class PositionalTree:
     # ------------------------------------------------------------------
     def begin_op(self) -> None:
         """Start a logical operation; resets per-operation shadow marks."""
-        for page_id in self._dirty:
+        for page_id in sorted(self._dirty):
             self._nodes[page_id].shadowed_this_op = False
 
     def end_op(self) -> None:
@@ -622,19 +622,21 @@ class PositionalTree:
             self._nodes[page_id] = node
             return node
         self.pool.fix(page_id)
-        frame = self.pool.lookup(page_id)
-        if node is None:
-            assert frame is not None
-            node, _total, _rightmost = IndexNode.deserialize(
-                frame.content().ljust(self.config.page_size, b"\x00"),
-                page_id,
-                is_root=False,
-                data_base=self.data_base,
-                meta_base=self.meta.base_page_id,
-                leaf_alloc_pages=self.leaf_alloc_pages,
-            )
-            self._nodes[page_id] = node
-        self.pool.unfix(page_id)
+        try:
+            frame = self.pool.lookup(page_id)
+            if node is None:
+                assert frame is not None
+                node, _total, _rightmost = IndexNode.deserialize(
+                    frame.content().ljust(self.config.page_size, b"\x00"),
+                    page_id,
+                    is_root=False,
+                    data_base=self.data_base,
+                    meta_base=self.meta.base_page_id,
+                    leaf_alloc_pages=self.leaf_alloc_pages,
+                )
+                self._nodes[page_id] = node
+        finally:
+            self.pool.unfix(page_id)
         return node
 
     def _peek_node(self, page_id: int) -> IndexNode:

@@ -1,0 +1,14 @@
+"""FLOW000 corpus: flow suppressions must carry a written rationale."""
+
+
+def bare_suppression(pool, page_id, codec):
+    pool.fix(page_id)  # repro-lint: disable=FLOW001  # seeded: FLOW000
+    data = codec.decode(pool.lookup(page_id))
+    pool.unfix(page_id)
+    return data
+
+
+def justified_suppression(pool, page_id, registry):
+    # The registry unfixes the page when the entry is dropped.
+    pool.fix(page_id)  # repro-lint: disable=FLOW001 -- ownership passes to the registry, which unfixes on eviction
+    registry.adopt(page_id)

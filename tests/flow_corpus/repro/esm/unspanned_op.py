@@ -1,0 +1,45 @@
+"""CHG001 corpus: charged I/O escaping the op-span cost accounting."""
+
+import abc
+
+
+class LargeObjectManager(abc.ABC):
+    @abc.abstractmethod
+    def read(self, oid, offset, nbytes):
+        ...
+
+    @abc.abstractmethod
+    def append(self, oid, data):
+        ...
+
+
+class UnspannedManager(LargeObjectManager):
+    def read(self, oid, offset, nbytes):  # seeded: CHG001
+        return self.env.disk.read_pages(oid, 1)
+
+    def append(self, oid, data):
+        with self._op_span("append", oid):
+            self._write_tail(oid, data)
+
+    def _write_tail(self, oid, data):
+        self.env.disk.write_pages(oid, 1, data)
+
+
+class TypoSpanManager(LargeObjectManager):
+    def read(self, oid, offset, nbytes):
+        with self._op_span("frobnicate", oid):  # seeded: CHG001
+            return self.env.disk.read_pages(oid, 1)
+
+    def append(self, oid, data):
+        with self._op_span("append", oid):
+            self.env.disk.write_pages(oid, 1, data)
+
+
+class InMemoryManager(LargeObjectManager):
+    """Never touches the disk: no span required."""
+
+    def read(self, oid, offset, nbytes):
+        return self.blobs[oid][offset:offset + nbytes]
+
+    def append(self, oid, data):
+        self.blobs[oid] += data

@@ -1,0 +1,36 @@
+"""DET001/DET003 corpus: set-order and arbitrary-choice nondeterminism."""
+
+
+class Tracker:
+    def __init__(self):
+        self.dirty: set[int] = set()
+
+    def report_lines(self):
+        lines = []
+        for page_id in self.dirty:  # seeded: DET001
+            lines.append(f"dirty {page_id}")
+        return lines
+
+    def join_ids(self):
+        return ",".join(str(p) for p in self.dirty)  # seeded: DET001
+
+    def snapshot(self):
+        return list(self.dirty)  # seeded: DET001
+
+    def pick_any(self):
+        return self.dirty.pop()  # seeded: DET003
+
+    def first(self):
+        return next(iter(self.dirty))  # seeded: DET003
+
+    def sorted_iteration_is_fine(self):
+        return [p for p in sorted(self.dirty)]
+
+    def reducers_are_fine(self):
+        return (len(self.dirty), min(self.dirty), sum(self.dirty))
+
+    def membership_is_fine(self, page_id):
+        return page_id in self.dirty
+
+    def dict_iteration_is_fine(self, table):
+        return [k for k in table]

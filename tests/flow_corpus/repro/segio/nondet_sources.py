@@ -1,0 +1,32 @@
+"""DET002 corpus: nondeterministic sources in library code."""
+
+import glob
+import os
+import random
+import time
+
+
+def stamp_report(report):
+    report["at"] = time.time()  # seeded: DET002
+    return report
+
+
+def jitter(n):
+    return n + random.randint(0, 3)  # seeded: DET002
+
+
+def scan_dir(path):
+    return [name for name in os.listdir(path)]  # seeded: DET002
+
+
+def find_traces(pattern):
+    return glob.glob(pattern)  # seeded: DET002
+
+
+def seeded_rng_is_fine(seed):
+    rng = random.Random(seed)
+    return rng.randint(0, 3)
+
+
+def sorted_listing_is_fine(path):
+    return sorted(os.listdir(path))

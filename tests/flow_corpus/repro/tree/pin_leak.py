@@ -1,0 +1,42 @@
+"""FLOW001 corpus: pin leaks the per-file linter cannot see."""
+
+
+def leak_on_exception_path(pool, page_id, codec):
+    # The decode call between fix and unfix can raise, skipping unfix.
+    pool.fix(page_id)  # seeded: FLOW001
+    data = codec.decode(pool.lookup(page_id))
+    pool.unfix(page_id)
+    return data
+
+
+def leak_on_early_return(pool, page_id, want):
+    pool.fix(page_id)  # seeded: FLOW001
+    if want:
+        return None  # falls out with the pin still held
+    pool.unfix(page_id)
+    return None
+
+
+def leak_in_loop(pool, pages):
+    for page_id in pages:
+        pool.fix(page_id)  # seeded: FLOW001
+    return len(pages)
+
+
+def balanced_try_finally(pool, page_id, codec):
+    pool.fix(page_id)
+    try:
+        return codec.decode(pool.lookup(page_id))
+    finally:
+        pool.unfix(page_id)
+
+
+def balanced_straight_line(pool, page_id):
+    pool.fix(page_id)
+    pool.unfix(page_id)
+
+
+def escaping_frame_is_callers_problem(pool, page_id):
+    # Returning the pinned frame hands the obligation to the caller.
+    frame = pool.fix(page_id)
+    return frame

@@ -1,0 +1,285 @@
+"""REPRO_SAN runtime sanitizer and pin-leak regression tests.
+
+Two halves.  The first exercises the sanitizer itself: the ``REPRO_SAN``
+flag, site attribution on :meth:`BufferPool.assert_pin_balanced`, and
+the per-operation guard that :meth:`LargeObjectManager._op_span` installs
+around every manager op.  The second half pins down the concrete leak
+sites the FLOW001/FLOW002 sweep found and fixed — each test forces the
+original exception path and asserts the pool comes out balanced (or, for
+the tree-backed operation bracket, that no flush happens on failure).
+"""
+
+import pytest
+
+from repro.buddy.allocator import BuddyAllocator
+from repro.buddy.area import DATA_AREA_BASE
+from repro.buddy.space import BuddySpace
+from repro.buffer.pool import BufferPool
+from repro.core.api import make_manager
+from repro.core.config import small_page_config
+from repro.core.env import StorageEnvironment
+from repro.core.errors import ByteRangeError, ContractViolationError
+from repro.disk.disk import SimulatedDisk
+from repro.disk.iomodel import CostModel
+from repro.lint.contracts import sanitizer_enabled
+from repro.records.schema import Schema
+from repro.records.store import RecordStore
+from repro.tree.node import IndexNode, LeafExtent
+from repro.tree.tree import PositionalTree
+from tests.conftest import pattern_bytes
+
+
+@pytest.fixture
+def san(monkeypatch):
+    """Run the test with the REPRO_SAN sanitizer switched on."""
+    monkeypatch.setenv("REPRO_SAN", "1")
+
+
+@pytest.fixture
+def pool():
+    config = small_page_config()
+    return BufferPool(config, SimulatedDisk(config, CostModel(config)))
+
+
+def make_env():
+    return StorageEnvironment(small_page_config(page_size=128))
+
+
+def make_tree(env):
+    tree = PositionalTree(
+        env.config, env.pool, env.areas.meta, data_base=DATA_AREA_BASE
+    )
+    tree.create()
+    return tree
+
+
+# ----------------------------------------------------------------------
+# The sanitizer itself
+# ----------------------------------------------------------------------
+class TestSanitizerFlag:
+    def test_off_by_default(self, monkeypatch, pool):
+        monkeypatch.delenv("REPRO_SAN", raising=False)
+        assert not sanitizer_enabled()
+        pool.fix(0)
+        assert pool._san_pins == {}
+        pool.unfix(0)
+
+    def test_on_when_flag_set(self, san):
+        assert sanitizer_enabled()
+
+    def test_balanced_pool_passes(self, san, pool):
+        pool.fix(0)
+        pool.fix(1)
+        pool.unfix(1)
+        pool.unfix(0)
+        pool.assert_pin_balanced("op.test")
+
+    def test_leak_raises_with_site_attribution(self, san, pool):
+        pool.fix(3)
+        with pytest.raises(ContractViolationError) as exc:
+            pool.assert_pin_balanced("op.test")
+        message = str(exc.value)
+        assert "after op.test" in message
+        assert "page 3 x1" in message
+        # The acquisition site names this test function in this file.
+        assert "test_san.py" in message
+        assert "test_leak_raises_with_site_attribution" in message
+
+    def test_double_pin_reports_both_sites(self, san, pool):
+        pool.fix(2)
+        pool.fix(2)
+        with pytest.raises(ContractViolationError) as exc:
+            pool.assert_pin_balanced()
+        assert "page 2 x2" in str(exc.value)
+
+    def test_site_popped_on_unfix(self, san, pool):
+        pool.fix(5)
+        pool.fix(5)
+        pool.unfix(5)
+        assert len(pool._san_pins[5]) == 1
+        pool.unfix(5)
+        assert pool._san_pins == {}
+
+    def test_accounting_drift_detected(self, san, pool):
+        pool._pinned = 1  # simulate a bookkeeping bug
+        with pytest.raises(ContractViolationError, match="drift"):
+            pool.assert_pin_balanced("op.test")
+
+    def test_without_flag_no_sites_but_leak_still_caught(self, monkeypatch,
+                                                         pool):
+        # assert_pin_balanced works regardless of the flag; only the
+        # call-site attribution needs REPRO_SAN=1.
+        monkeypatch.delenv("REPRO_SAN", raising=False)
+        pool.fix(4)
+        with pytest.raises(ContractViolationError) as exc:
+            pool.assert_pin_balanced()
+        assert "page 4 x1" in str(exc.value)
+        assert "fixed at" not in str(exc.value)
+
+
+# ----------------------------------------------------------------------
+# The per-operation guard installed by _op_span
+# ----------------------------------------------------------------------
+SCHEMES = ("esm", "starburst", "eos", "blockbased")
+
+
+class TestOpSpanGuard:
+    def test_leak_across_an_op_is_reported(self, san):
+        env = make_env()
+        manager = make_manager("esm", env, leaf_pages=2)
+        oid = manager.create(pattern_bytes(64))
+        env.pool.fix(0)  # a pin the operation does not own
+        with pytest.raises(ContractViolationError, match="pin leak"):
+            manager.read(oid, 0, 16)
+        env.pool.unfix(0)
+
+    def test_failed_op_does_not_mask_its_error(self, san):
+        # The guard asserts on *normal* exit only: a failing operation
+        # must surface its own exception, not a pin-balance report.
+        env = make_env()
+        manager = make_manager("esm", env, leaf_pages=2)
+        oid = manager.create(pattern_bytes(64))
+        env.pool.fix(0)
+        with pytest.raises(ByteRangeError):
+            manager.read(oid, 10_000, 16)
+        env.pool.unfix(0)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_clean_roundtrip_per_scheme(self, san, scheme):
+        env = make_env()
+        manager = make_manager(scheme, env, leaf_pages=2, threshold_pages=2)
+        page = env.config.page_size
+        data = pattern_bytes(5 * page)
+        oid = manager.create(data)
+        assert manager.read(oid, 0, len(data)) == data
+        manager.append(oid, pattern_bytes(page, salt=1))
+        manager.replace(oid, 7, b"EDIT")
+        manager.insert(oid, page, pattern_bytes(33, salt=2))
+        manager.delete(oid, 2 * page, 50)
+        manager.read(oid, 0, manager.size(oid))
+        manager.destroy(oid)
+
+
+# ----------------------------------------------------------------------
+# Regression: the pin-leak sites found and fixed by the FLOW001 sweep
+# ----------------------------------------------------------------------
+class _Boom(Exception):
+    pass
+
+
+class TestPinLeakRegressions:
+    def test_records_load_page_miss_unwinds_balanced(self, monkeypatch):
+        # RecordStore._load_page used to leave the page fixed when
+        # SlottedPage construction raised on the cache-miss path.
+        env = make_env()
+        manager = make_manager("esm", env, leaf_pages=2)
+        store = RecordStore(Schema.of(name="text"), manager)
+        rid = store.insert(name="Ada")
+        store._cache.clear()  # force the miss path
+
+        def explode(*args, **kwargs):
+            raise _Boom
+
+        monkeypatch.setattr("repro.records.store.SlottedPage", explode)
+        with pytest.raises(_Boom):
+            store.get(rid)
+        env.pool.assert_pin_balanced()
+
+    def test_buddy_visit_directory_unwinds_balanced(self, monkeypatch):
+        # BuddyAllocator._visit_directory used to skip the unfix when the
+        # mutation callback raised.
+        config = small_page_config()
+        pool = BufferPool(config, SimulatedDisk(config, CostModel(config)))
+        allocator = BuddyAllocator(config, pool, base_page_id=0, name="test")
+        allocator.allocate(1)
+
+        def explode():
+            raise _Boom
+
+        with pytest.raises(_Boom):
+            allocator._visit_directory(0, mutate=explode)
+        pool.assert_pin_balanced()
+
+    def test_buddy_allocate_unwinds_balanced(self, monkeypatch):
+        # Same bug class on the inlined hot path (_try_allocate_in_space).
+        config = small_page_config()
+        pool = BufferPool(config, SimulatedDisk(config, CostModel(config)))
+        allocator = BuddyAllocator(config, pool, base_page_id=0, name="test")
+        allocator.allocate(1)
+
+        def explode(self, n_blocks):
+            raise _Boom
+
+        monkeypatch.setattr(BuddySpace, "allocate", explode)
+        with pytest.raises(_Boom):
+            allocator.allocate(1)
+        pool.assert_pin_balanced()
+
+    def test_tree_get_node_unwinds_balanced(self, monkeypatch):
+        # PositionalTree._get_node used to leave the index page fixed
+        # when deserialization raised on a node-cache miss.
+        env = make_env()
+        tree = make_tree(env)
+        for index in range(20):  # deep enough for non-root index nodes
+            page_id = env.areas.data.allocate(1)
+            tree.append_extent(LeafExtent(
+                page_id=page_id, used_bytes=100, alloc_pages=1,
+            ))
+        tree.end_op()
+        assert tree.height >= 2
+        root = tree._get_node(tree.root_page_id)
+        child = root.entries[0].ref
+        assert isinstance(child, int)
+        del tree._nodes[child]  # force the reload path
+
+        def explode(*args, **kwargs):
+            raise _Boom
+
+        monkeypatch.setattr(IndexNode, "deserialize", explode)
+        with pytest.raises(_Boom):
+            tree.locate(0)
+        env.pool.assert_pin_balanced()
+
+    def test_tree_backed_op_flushes_on_success_only(self):
+        # TreeBackedManager._op used to call end_op() from a finally:,
+        # pushing half-applied index state at the disk on failure — the
+        # crash-safety bug class FLOW002 now rejects statically.
+        env = make_env()
+        manager = make_manager("esm", env, leaf_pages=2)
+
+        class StubTree:
+            begun = 0
+            ended = 0
+
+            def begin_op(self):
+                self.begun += 1
+
+            def end_op(self):
+                self.ended += 1
+
+        stub = StubTree()
+        with pytest.raises(_Boom):
+            with manager._op(stub):
+                raise _Boom
+        assert stub.begun == 1
+        assert stub.ended == 0
+        with manager._op(stub):
+            pass
+        assert stub.ended == 1
+
+
+# ----------------------------------------------------------------------
+# Full-stack smoke: the suite's own env matches the CI job's
+# ----------------------------------------------------------------------
+def test_sanitized_store_survives_mixed_workload(san):
+    env = make_env()
+    manager = make_manager("eos", env, threshold_pages=2)
+    page = env.config.page_size
+    oids = [manager.create(pattern_bytes(n * page, salt=n)) for n in (1, 3, 7)]
+    for step, oid in enumerate(oids * 3):
+        manager.append(oid, pattern_bytes(40, salt=step))
+        manager.replace(oid, step * 8, b"x" * 5)
+        manager.read(oid, 0, min(manager.size(oid), 2 * page))
+    for oid in oids:
+        manager.destroy(oid)
+    env.pool.assert_pin_balanced("workload")
