@@ -21,6 +21,7 @@ import cProfile
 import glob
 import io
 import json
+import math
 import os
 import platform
 import pstats
@@ -113,6 +114,7 @@ def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> s
         f"{'point':<20} {'wall A':>9} {'wall B':>9} {'speedup':>8} "
         f"{'sim A':>10} {'sim B':>10}",
     ]
+    ratios: list[float] = []
     for name in names:
         a, b = by_name_a.get(name), by_name_b.get(name)
         if a is None or b is None:
@@ -121,11 +123,22 @@ def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> s
             continue
         wall_a, wall_b = float(a["wall_s"]), float(b["wall_s"])
         sim_a, sim_b = float(a["sim_s"]), float(b["sim_s"])
-        speedup = f"{wall_a / wall_b:>7.2f}x" if wall_b > 0 else "     inf"
+        if wall_b > 0:
+            speedup = f"{wall_a / wall_b:>7.2f}x"
+            if wall_a > 0:
+                ratios.append(wall_a / wall_b)
+        else:
+            speedup = "     inf"
         note = "" if sim_a == sim_b else "  sim CHANGED"
         lines.append(
             f"{name:<20} {wall_a:>9.4f} {wall_b:>9.4f} {speedup:>8} "
             f"{sim_a:>10.2f} {sim_b:>10.2f}{note}"
+        )
+    if ratios:
+        geomean = math.exp(math.fsum(math.log(r) for r in ratios) / len(ratios))
+        lines.append(
+            f"geometric-mean speedup (A/B over {len(ratios)} shared "
+            f"points): {geomean:.2f}x"
         )
     return "\n".join(lines)
 
@@ -176,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("tiny", "small", "paper", "xl"),
+        choices=("tiny", "small", "paper", "xl", "xxl"),
         default="tiny",
         help="workload scale to time (default: tiny)",
     )
@@ -184,7 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         "--also",
         action="append",
         default=[],
-        choices=("tiny", "small", "paper", "xl"),
+        choices=("tiny", "small", "paper", "xl", "xxl"),
         metavar="SCALE",
         help="time the grid at an additional scale too (repeatable)",
     )

@@ -25,10 +25,12 @@ from typing import ContextManager
 from repro.core.api import LargeObjectStore
 from repro.core.config import SystemConfig
 from repro.disk.iomodel import IOStats
+from repro.exec.plan import read_op
 from repro.experiments.common import (
     KB,
     Scale,
     build_object,
+    build_object_batched,
     make_store,
 )
 from repro.experiments.random_ops import WORKLOAD_SEED
@@ -139,7 +141,9 @@ def span_summary(tracer: Tracer, config: SystemConfig) -> dict[str, object]:
             lo, hi = int(record["seq0"]), int(record["seq1"])  # type: ignore[call-overload]
             for child in spans:
                 ckind = str(child["kind"])
-                if not ckind.startswith("op."):
+                # op.batch wraps the per-op spans of a whole submitted
+                # batch; folding it too would double-count its children.
+                if not ckind.startswith("op.") or ckind == "op.batch":
                     continue
                 if not lo <= int(child["seq0"]) <= hi:  # type: ignore[call-overload]
                     continue
@@ -190,51 +194,69 @@ def _bench_store(scheme: str) -> LargeObjectStore:
 
 
 def measure_build(
-    scheme: str, scale: Scale, traced: bool = False
+    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
 ) -> BenchPoint:
-    """Time building one object with fixed-size appends."""
+    """Time building one object with fixed-size appends.
+
+    ``batched`` (the default) submits the appends as one op batch
+    through the batch engine; ``batched=False`` keeps the original
+    per-op dispatch.  Simulated fields are bit-identical either way —
+    only ``wall_s`` differs.
+    """
+    build = build_object_batched if batched else build_object
     tracer = Tracer(meta={"point": f"build/{scheme}"}) if traced else None
     with _ambient(tracer):
         store = _bench_store(scheme)
         before = store.snapshot()
         with _phase(tracer, "bench.measure"):
             start = time.perf_counter()
-            build_object(store, scale.object_bytes, CHUNK_KB * KB)
+            build(store, scale.object_bytes, CHUNK_KB * KB)
             wall = time.perf_counter() - start
     return _point(f"build/{scheme}", store, wall, before, tracer)
 
 
 def measure_scan(
-    scheme: str, scale: Scale, traced: bool = False
+    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
 ) -> BenchPoint:
-    """Time a full sequential scan of a prebuilt object (build untimed)."""
+    """Time a full sequential scan of a prebuilt object (build untimed).
+
+    The batched variant submits the whole scan as one batch of reads.
+    """
+    build = build_object_batched if batched else build_object
     tracer = Tracer(meta={"point": f"scan/{scheme}"}) if traced else None
     with _ambient(tracer):
         store = _bench_store(scheme)
         with _phase(tracer, "bench.setup"):
-            oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+            oid = build(store, scale.object_bytes, CHUNK_KB * KB)
         before = store.snapshot()
         with _phase(tracer, "bench.measure"):
             start = time.perf_counter()
             size = store.size(oid)
             chunk = CHUNK_KB * KB
-            position = 0
-            while position < size:
-                store.read(oid, position, min(chunk, size - position))
-                position += chunk
+            if batched:
+                store.submit_ops(oid, [
+                    read_op(position, min(chunk, size - position))
+                    for position in range(0, size, chunk)
+                ])
+            else:
+                position = 0
+                while position < size:
+                    store.read(oid, position, min(chunk, size - position))
+                    position += chunk
             wall = time.perf_counter() - start
     return _point(f"scan/{scheme}", store, wall, before, tracer)
 
 
 def measure_random(
-    scheme: str, scale: Scale, traced: bool = False
+    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
 ) -> BenchPoint:
     """Time the 40/30/30 random-update mix on a prebuilt object."""
+    build = build_object_batched if batched else build_object
     tracer = Tracer(meta={"point": f"random/{scheme}"}) if traced else None
     with _ambient(tracer):
         store = _bench_store(scheme)
         with _phase(tracer, "bench.setup"):
-            oid = build_object(store, scale.object_bytes, CHUNK_KB * KB)
+            oid = build(store, scale.object_bytes, CHUNK_KB * KB)
         n_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
         generator = WorkloadGenerator(
             object_size=store.size(oid),
@@ -245,7 +267,10 @@ def measure_random(
         before = store.snapshot()
         with _phase(tracer, "bench.measure"):
             start = time.perf_counter()
-            runner.run(n_ops, window=max(1, n_ops))
+            if batched:
+                runner.run_batched(n_ops, window=max(1, n_ops))
+            else:
+                runner.run(n_ops, window=max(1, n_ops))
             wall = time.perf_counter() - start
     return _point(f"random/{scheme}", store, wall, before, tracer)
 

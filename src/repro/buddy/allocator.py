@@ -43,19 +43,31 @@ class BuddyAllocator:
         self.pool = pool
         self.base_page_id = base_page_id
         self.name = name
+        #: Pages per (directory + buddy space) unit; the config is frozen,
+        #: so this is computed once for the address arithmetic below.
+        self._stride_pages = 1 + config.buddy_space_blocks
         self._spaces: list[BuddySpace] = []
         #: Superdirectory: believed order of the largest free extent per space.
         self._superdirectory: list[int] = []
+        #: Batch-engine hook: while a fault injector is armed inside an
+        #: op batch, frees are journaled here and applied at the batch
+        #: boundary (after the group commit), so a mid-batch crash can
+        #: never have recycled a page the committed image still
+        #: references.  ``None`` — the overwhelmingly common case —
+        #: frees immediately.
+        self.free_sink: (
+            Callable[["BuddyAllocator", int, int], None] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Address arithmetic
     # ------------------------------------------------------------------
     @property
     def _stride(self) -> int:
-        return 1 + self.config.buddy_space_blocks
+        return self._stride_pages
 
     def _directory_page(self, space_index: int) -> int:
-        return self.base_page_id + space_index * self._stride
+        return self.base_page_id + space_index * self._stride_pages
 
     def _data_base(self, space_index: int) -> int:
         return self._directory_page(space_index) + 1
@@ -65,7 +77,7 @@ class BuddyAllocator:
         relative = page_id - self.base_page_id
         if relative < 0:
             raise AllocationError(f"page {page_id} is not in area {self.name!r}")
-        space_index, within = divmod(relative, self._stride)
+        space_index, within = divmod(relative, self._stride_pages)
         if space_index >= len(self._spaces) or within == 0:
             raise AllocationError(
                 f"page {page_id} is not a data page of area {self.name!r}"
@@ -89,35 +101,64 @@ class BuddyAllocator:
                 f"segment of {n_pages} pages exceeds the maximum of "
                 f"{self.config.max_segment_pages} pages"
             )
-        needed_order = ceil_log2(n_pages)
-        for index in range(len(self._spaces)):
-            if self._superdirectory[index] < needed_order:
+        needed_order = (n_pages - 1).bit_length()  # ceil_log2, n_pages > 0
+        superdirectory = self._superdirectory
+        stride = self._stride_pages
+        data_base = self.base_page_id + 1
+        for index in range(len(superdirectory)):
+            if superdirectory[index] < needed_order:
                 continue
             offset = self._try_allocate_in_space(index, n_pages, needed_order)
             if offset is not None:
-                return self._data_base(index) + offset
+                return data_base + index * stride + offset
         index = self._add_space()
         offset = self._try_allocate_in_space(index, n_pages, needed_order)
         if offset is None:  # pragma: no cover - a fresh space always fits
             raise OutOfSpaceError("freshly created buddy space cannot fit segment")
-        return self._data_base(index) + offset
+        return data_base + index * stride + offset
 
     def free(self, page_id: int, n_pages: int) -> None:
         """Free ``n_pages`` pages starting at ``page_id``.
 
         Any sub-range of previous allocations may be freed (partial free).
         Resident copies of the freed pages are invalidated and their
-        content discarded.
+        content discarded.  With a :attr:`free_sink` installed (a
+        fault-armed batch), the free is journaled instead and applied at
+        the batch boundary.
         """
         if n_pages <= 0:
             raise AllocationError("free size must be positive")
+        sink = self.free_sink
+        if sink is not None:
+            sink(self, page_id, n_pages)
+            return
         space_index, offset = self._locate(page_id)
         space = self._spaces[space_index]
         if offset + n_pages > space.total_blocks:
             raise AllocationError("free range crosses a buddy space boundary")
-        self.pool.invalidate_run(page_id, n_pages)
-        self.pool.disk.discard_pages(page_id, n_pages)
-        self._visit_directory(space_index, mutate=lambda: space.free_range(offset, n_pages))
+        pool = self.pool
+        pool.invalidate_run(page_id, n_pages)
+        pool.disk.discard_pages(page_id, n_pages)
+        # _visit_directory inlined without the mutation closure: a free
+        # always changes the space's state (free_range raises on
+        # already-free blocks), so the before/after comparison that the
+        # generic visit performs is a foregone conclusion and the
+        # directory page is unconditionally unfixed dirty.  The pool
+        # access sequence (fix, provider, unfix) is identical.
+        directory_page = self.base_page_id + space_index * self._stride_pages
+        changed = False
+        pool.fix(directory_page)
+        try:
+            space.free_range(offset, n_pages)
+            changed = True
+            self._superdirectory[space_index] = (
+                space._order_mask.bit_length() - 1
+            )
+            pool.set_provider(
+                directory_page, lambda: serialize_directory(space)
+            )
+        finally:
+            pool.unfix(directory_page, dirty=changed)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -160,21 +201,24 @@ class BuddyAllocator:
         pool access sequence (fix, provider on change, unfix) is identical.
         """
         space = self._spaces[index]
-        page_id = self._directory_page(index)
+        page_id = self.base_page_id + index * self._stride_pages
+        pool = self.pool
         offset: int | None = None
         changed = False
-        self.pool.fix(page_id)
+        pool.fix(page_id)
         try:
-            if space.max_free_order() >= needed_order:
+            # max_free_order() inlined (same package): the largest free
+            # order is the top bit of the space's free-list index.
+            if space._order_mask.bit_length() - 1 >= needed_order:
                 offset = space.allocate(n_pages)
-            self._superdirectory[index] = space.max_free_order()
+            self._superdirectory[index] = space._order_mask.bit_length() - 1
             changed = offset is not None
             if changed:
-                self.pool.set_provider(
+                pool.set_provider(
                     page_id, lambda: serialize_directory(space)
                 )
         finally:
-            self.pool.unfix(page_id, dirty=changed)
+            pool.unfix(page_id, dirty=changed)
         return offset
 
     def _visit_directory(

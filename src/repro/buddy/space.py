@@ -93,7 +93,7 @@ class BuddySpace:
                 f"segment of {n_blocks} blocks exceeds space of "
                 f"{self.total_blocks} blocks"
             )
-        k = ceil_log2(n_blocks)
+        k = (n_blocks - 1).bit_length()  # ceil_log2; positivity checked
         offset = self._take_extent(k)
         if offset is None:
             raise OutOfSpaceError(
@@ -116,10 +116,21 @@ class BuddySpace:
         if n_blocks <= 0:
             raise AllocationError("free size must be positive")
         self._check_offset(offset)
+        if n_blocks == 1:
+            # Single-block free: the shadow-relocation hot path (every
+            # relocated index page frees exactly one block).
+            byte, bit = offset >> 3, 1 << (offset & 7)
+            if not self.bitmap[byte] & bit:
+                raise AllocationError(f"block {offset} is already free")
+            self.bitmap[byte] &= ~bit
+            self._free_blocks += 1
+            self._insert_free(offset, 0)
+            return
         if offset + n_blocks > self.total_blocks:
             raise AllocationError("free range extends past end of space")
+        bitmap = self.bitmap
         for b in range(offset, offset + n_blocks):
-            if not self.is_block_allocated(b):
+            if not bitmap[b >> 3] & (1 << (b & 7)):
                 raise AllocationError(f"block {b} is already free")
         self._set_bits(offset, n_blocks, False)
         self._free_blocks += n_blocks
@@ -140,15 +151,19 @@ class BuddySpace:
         if not candidates:
             return None
         j = k + (candidates & -candidates).bit_length() - 1
-        extents = self._free_sets[j]
+        free_sets = self._free_sets
+        extents = free_sets[j]
         offset = extents.pop()
         if not extents:
             self._order_mask &= ~(1 << j)
+        mask = 0
         while j > k:
             j -= 1
             # Split: keep the left half, free the right half.
-            self._free_sets[j].add(offset + (1 << j))
-            self._order_mask |= 1 << j
+            free_sets[j].add(offset + (1 << j))
+            mask |= 1 << j
+        if mask:
+            self._order_mask |= mask
         return offset
 
     def _release_range(self, offset: int, n_blocks: int) -> None:
@@ -164,15 +179,27 @@ class BuddySpace:
             n_blocks -= 1 << k
 
     def _insert_free(self, offset: int, k: int) -> None:
-        """Insert a free extent of order ``k``, coalescing with buddies."""
-        while k < self.order:
+        """Insert a free extent of order ``k``, coalescing with buddies.
+
+        ``_free_discard`` / ``_free_add`` are inlined: coalescing cascades
+        through every order on the single-block free/reallocate churn of
+        shadow relocation, so the per-level method calls are measurable.
+        """
+        free_sets = self._free_sets
+        order = self.order
+        while k < order:
             buddy = offset ^ (1 << k)
-            if buddy not in self._free_sets[k]:
+            extents = free_sets[k]
+            if buddy not in extents:
                 break
-            self._free_discard(k, buddy)
-            offset = min(offset, buddy)
+            extents.discard(buddy)
+            if not extents:
+                self._order_mask &= ~(1 << k)
+            if buddy < offset:
+                offset = buddy
             k += 1
-        self._free_add(k, offset)
+        free_sets[k].add(offset)
+        self._order_mask |= 1 << k
 
     def _free_add(self, k: int, offset: int) -> None:
         """Add a free extent, keeping the order index in sync."""
@@ -187,11 +214,13 @@ class BuddySpace:
             self._order_mask &= ~(1 << k)
 
     def _set_bits(self, offset: int, n_blocks: int, value: bool) -> None:
-        for b in range(offset, offset + n_blocks):
-            if value:
-                self.bitmap[b >> 3] |= 1 << (b & 7)
-            else:
-                self.bitmap[b >> 3] &= ~(1 << (b & 7))
+        bitmap = self.bitmap
+        if value:
+            for b in range(offset, offset + n_blocks):
+                bitmap[b >> 3] |= 1 << (b & 7)
+        else:
+            for b in range(offset, offset + n_blocks):
+                bitmap[b >> 3] &= ~(1 << (b & 7))
 
     def _check_offset(self, offset: int) -> None:
         if not 0 <= offset < self.total_blocks:

@@ -31,8 +31,9 @@ class Frame:
         Optional callable producing current page content lazily at
         writeback time.  Used by the buddy allocator so directory pages
         are serialized only when they actually reach disk.
-    lru_tick:
-        Monotonic use counter for LRU victim selection.
+
+    Recency for LRU victim selection is the pool's insertion order (its
+    ``OrderedDict`` of frames), not a per-frame counter.
     """
 
     page_id: int
@@ -41,7 +42,6 @@ class Frame:
     pin_count: int = 0
     record: bool = True
     provider: Callable[[], bytes] | None = None
-    lru_tick: int = 0
 
     def content(self) -> Payload:
         """Current content, preferring the lazy provider when set."""

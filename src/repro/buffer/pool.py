@@ -24,7 +24,12 @@ from repro.core.config import SystemConfig
 from repro.core.errors import BufferPoolError, ContractViolationError
 from repro.core.payload import Payload, payload_concat
 from repro.disk.disk import SimulatedDisk
-from repro.lint.contracts import pure_read, sanitizer_enabled
+from repro.lint.contracts import SAN_PROBE, pure_read, sanitizer_enabled
+
+# fix()/unfix() bracket every index-page and directory access, so the
+# REPRO_SAN flag check inside them is inlined to one dict lookup (see
+# contracts.SAN_PROBE).
+_SAN_ENV, _SAN_KEY, _SAN_ON = SAN_PROBE
 
 
 @dataclasses.dataclass
@@ -51,13 +56,11 @@ class BufferPool:
         self.disk = disk
         self.capacity = config.buffer_pool_pages
         #: Resident frames in recency order: every :meth:`_touch` moves the
-        #: frame to the end, so iteration order mirrors ``lru_tick`` order
-        #: and victim selection reads from the front instead of scanning
-        #: every frame for the minimum tick.
+        #: frame to the end, so victim selection reads from the front
+        #: instead of scanning every frame for the least recent.
         self._frames: collections.OrderedDict[int, Frame] = (
             collections.OrderedDict()
         )
-        self._tick = 0
         #: Number of resident frames with pin_count > 0, maintained on
         #: every pin/unpin so availability queries are O(1).
         self._pinned = 0
@@ -76,20 +79,23 @@ class BufferPool:
         Raises :class:`BufferPoolError` if every frame is pinned and the
         page is not resident.
         """
-        frame = self._frames.get(page_id)
+        frames = self._frames
+        frame = frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
             self._make_room(1)
             data = self.disk.read_pages(page_id, 1)
-            frame = Frame(page_id=page_id, data=data)
-            self._frames[page_id] = frame
+            frame = Frame(page_id, data)
+            frames[page_id] = frame
         frame.pin_count += 1
         if frame.pin_count == 1:
             self._pinned += 1
-        self._touch(frame)
-        if sanitizer_enabled():
+        frames.move_to_end(page_id)
+        if (_SAN_ENV is None or _SAN_ENV.get(_SAN_KEY) == _SAN_ON) and (
+            sanitizer_enabled()
+        ):
             self._san_note(page_id)
         return frame
 
@@ -108,7 +114,9 @@ class BufferPool:
         self._frames[page_id] = frame
         self._pinned += 1
         self._touch(frame)
-        if sanitizer_enabled():
+        if (_SAN_ENV is None or _SAN_ENV.get(_SAN_KEY) == _SAN_ON) and (
+            sanitizer_enabled()
+        ):
             self._san_note(page_id)
         return frame
 
@@ -203,15 +211,24 @@ class BufferPool:
         """
         return self.capacity - self._pinned
 
+    @property
+    def headroom(self) -> int:
+        """``capacity - pinned``: the contract-free twin of
+        :meth:`free_or_evictable` for checks that guard every segment
+        access (the ``@pure_read`` bracketing alone is measurable there).
+        """
+        return self.capacity - self._pinned
+
     @pure_read
     def can_accommodate(self, n_pages: int) -> bool:
         """Whether a run of ``n_pages`` can be brought into the pool now.
 
         This is the run-time "buffer availability" criterion of Section 3.2
         (after Effelsberg & Haerder): the run must fit the pool and enough
-        unpinned frames must exist to make room.
+        unpinned frames must exist to make room.  (``free_or_evictable``
+        inlined: this query guards every segment access.)
         """
-        return n_pages <= self.capacity and n_pages <= self.free_or_evictable()
+        return n_pages <= self.capacity and n_pages <= self.capacity - self._pinned
 
     # ------------------------------------------------------------------
     # Multi-page runs
@@ -230,7 +247,8 @@ class BufferPool:
         frames = self._frames
         page_size = self.config.page_size
         stats = self.stats
-        resident = [frames.get(page) for page in pages]
+        get = frames.get
+        resident = [get(page) for page in pages]
         n_missing = resident.count(None)
         if n_missing == 0:
             # Every page resident: no eviction can happen, so the
@@ -250,12 +268,12 @@ class BufferPool:
             stats.misses += n_pages
             self._make_room(n_pages)
             # Per-page views straight off the disk: no whole-run buffer is
-            # materialized and no per-page slice copies are made.
+            # materialized and no per-page slice copies are made.  The new
+            # frames are appended in request order, which IS their recency
+            # order, so no per-frame touch is needed.
             views = self.disk.read_page_views(start, n_pages)
             for i, data in enumerate(views):
-                frame = Frame(page_id=start + i, data=data, record=record)
-                frames[start + i] = frame
-                self._touch(frame)
+                frames[start + i] = Frame(start + i, data, False, 0, record)
             return payload_concat(views)
         # Mixed hits and misses: pin resident pages first so eviction for
         # the missing sub-runs cannot push out pages belonging to this
@@ -378,13 +396,43 @@ class BufferPool:
     # Internals
     # ------------------------------------------------------------------
     def _touch(self, frame: Frame) -> None:
-        self._tick += 1
-        frame.lru_tick = self._tick
         self._frames.move_to_end(frame.page_id)
 
     def _make_room(self, n_frames: int) -> None:
-        while len(self._frames) + n_frames > self.capacity:
-            self._evict_one()
+        need = len(self._frames) + n_frames - self.capacity
+        if need > 0:
+            self._evict_many(need)
+
+    def _evict_many(self, k: int) -> None:
+        """Evict ``k`` frames, bulk fast path for the all-clean case.
+
+        ``k`` successive :meth:`_evict_one` calls each take the first
+        unpinned *clean* frame in recency order, and removing a clean
+        frame leaves every other frame's state untouched — so when the
+        first ``k`` clean unpinned frames exist, they are exactly the
+        victims the sequential loop would pick, in the same order, and
+        can be dropped in one pass (same eviction counts, no writebacks,
+        same tracer events).  Any dirty or pinned frame short of ``k``
+        falls back to the exact sequential loop.
+        """
+        victims: list[Frame] = []
+        for frame in self._frames.values():
+            if frame.pin_count or frame.dirty:
+                continue
+            victims.append(frame)
+            if len(victims) == k:
+                break
+        if len(victims) < k:
+            for _ in range(k):
+                self._evict_one()
+            return
+        frames = self._frames
+        tracer = self.disk.tracer
+        for frame in victims:
+            del frames[frame.page_id]
+            if tracer is not None:
+                tracer.event("pool.evict", page=frame.page_id, dirty=False)
+        self.stats.evictions += k
 
     def _evict_one(self) -> None:
         victim = self._choose_victim()
@@ -402,11 +450,10 @@ class BufferPool:
     def _choose_victim(self) -> Frame | None:
         """LRU among clean unpinned frames, then dirty unpinned frames.
 
-        ``_frames`` iterates in recency order (it mirrors ``lru_tick``
-        order), so the first unpinned clean frame *is* the clean LRU
-        victim — the scan usually stops after one or two frames instead of
-        ranking every frame by tick — and the first unpinned dirty frame
-        seen is the exact dirty-LRU fallback.
+        ``_frames`` iterates in recency order, so the first unpinned
+        clean frame *is* the clean LRU victim — the scan usually stops
+        after one or two frames instead of ranking every frame — and the
+        first unpinned dirty frame seen is the exact dirty-LRU fallback.
         """
         fallback: Frame | None = None
         for frame in self._frames.values():
@@ -417,6 +464,11 @@ class BufferPool:
             if fallback is None:
                 fallback = frame
         return fallback
+
+    # _choose_victim's recency-order scan is also what makes
+    # _evict_many's bulk fast path exact: both read _frames front to
+    # back, so "first k clean unpinned frames" is the same victim
+    # sequence either way.
 
     def _writeback(self, frame: Frame) -> None:
         tracer = self.disk.tracer

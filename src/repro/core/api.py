@@ -18,12 +18,16 @@ accumulates in :attr:`stats`.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.blockbased.manager import BlockBasedManager
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.env import StorageEnvironment
 from repro.core.manager import LargeObjectManager
 from repro.core.payload import Payload
 from repro.disk.iomodel import IOStats
+from repro.exec.engine import BatchResult
+from repro.exec.plan import BatchOp
 from repro.eos.manager import EOSManager, EOSOptions
 from repro.esm.manager import ESMManager, ESMOptions
 from repro.recovery.shadow import DEFAULT_SHADOW, NO_SHADOW
@@ -160,6 +164,12 @@ class LargeObjectStore:
     def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite a byte range in place (size unchanged)."""
         self.manager.replace(oid, offset, data)
+
+    def submit_ops(self, oid: int, ops: "Sequence[BatchOp]") -> "BatchResult":
+        """Execute a batch of byte-range operations under the batch
+        engine (:mod:`repro.exec`): group commit, one-pass accounting,
+        bit-identical counters versus per-op submission."""
+        return self.manager.submit_ops(oid, ops)
 
     def utilization(self, oid: int) -> float:
         """Storage utilization including index pages (Section 4.4.1)."""

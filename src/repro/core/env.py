@@ -14,6 +14,7 @@ from repro.buffer.pool import BufferPool
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.disk.disk import SimulatedDisk
 from repro.disk.iomodel import CostModel, IOStats
+from repro.exec.engine import BatchEngine
 from repro.obs.runtime import resolve_tracer
 from repro.obs.tracer import Tracer
 from repro.recovery.shadow import DEFAULT_SHADOW, ShadowPolicy
@@ -63,6 +64,7 @@ class StorageEnvironment:
             bypass_pool=bypass_pool,
             always_pool=always_pool,
         )
+        self.exec = BatchEngine(self)
         if self.tracer is not None:
             self.tracer.bind(config, self.cost.stats, self.pool.stats)
 

@@ -11,17 +11,23 @@ from __future__ import annotations
 
 import abc
 import contextlib
-from typing import ContextManager
+from typing import ContextManager, Sequence
 
 from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, ObjectNotFoundError
 from repro.core.payload import Payload
-from repro.lint.contracts import sanitizer_enabled
+from repro.exec.engine import BatchResult
+from repro.exec.plan import BatchOp
+from repro.lint.contracts import SAN_PROBE, sanitizer_enabled
 
 #: Shared no-op context returned by :meth:`LargeObjectManager._op_span`
 #: when tracing is off: operations are the hottest spans in the stack, so
 #: the disabled path must not allocate anything per call.
 _NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
+
+# _op_span brackets every operation; the REPRO_SAN flag check is inlined
+# to one dict lookup (see contracts.SAN_PROBE).
+_SAN_ENV, _SAN_KEY, _SAN_ON = SAN_PROBE
 
 
 @contextlib.contextmanager
@@ -61,7 +67,9 @@ class LargeObjectManager(abc.ABC):
             span = tracer.span(f"op.{op}", scheme=self.scheme)
         else:
             span = tracer.span(f"op.{op}", scheme=self.scheme, oid=oid)
-        if sanitizer_enabled():
+        if (_SAN_ENV is None or _SAN_ENV.get(_SAN_KEY) == _SAN_ON) and (
+            sanitizer_enabled()
+        ):
             return _san_guarded(self.env.pool, f"op.{op}", span)
         return span
 
@@ -114,6 +122,27 @@ class LargeObjectManager(abc.ABC):
     @abc.abstractmethod
     def replace(self, oid: int, offset: int, data: Payload) -> None:
         """Overwrite ``len(data)`` bytes at ``offset`` (size unchanged)."""
+
+    # ------------------------------------------------------------------
+    # Batch submission
+    # ------------------------------------------------------------------
+    def submit_ops(
+        self, oid: int, ops: Sequence[BatchOp]
+    ) -> BatchResult:
+        """Execute a batch of byte-range operations on one object.
+
+        The ops run in order under the :class:`~repro.exec.engine
+        .BatchEngine`: uncharged root/descriptor flushes are
+        group-committed once at the batch boundary and cost accounting
+        is folded in one pass, but every charged access executes exactly
+        as the per-op path would — reports, IOStats, and pool counters
+        are bit-identical to running the same ops one by one.
+
+        Returns a :class:`~repro.exec.engine.BatchResult` with per-op
+        read payloads and per-op simulated costs.
+        """
+        with self._op_span("batch", oid):
+            return self.env.exec.run_batch(self, oid, ops)
 
     # ------------------------------------------------------------------
     # Accounting

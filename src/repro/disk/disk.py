@@ -269,9 +269,12 @@ class SimulatedDisk:
         pages = self._pages
         checksums = self._checksums
         if not record:
-            for i in range(stop):
-                pages[start + i] = _PHANTOM
-                checksums.pop(start + i, None)
+            # One C-level bulk insert; stale checksums are popped only
+            # when any exist at all (phantom areas never record them).
+            pages.update(dict.fromkeys(range(start, start + stop), _PHANTOM))
+            if checksums:
+                for i in range(stop):
+                    checksums.pop(start + i, None)
         elif isinstance(data, SizedPayload):
             zero = self._zero_page
             zero_crc = self._zero_crc

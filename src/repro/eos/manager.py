@@ -28,6 +28,7 @@ from repro.core.payload import (
     payload_concat,
     payload_view,
 )
+from repro.exec.plan import IOPlan, ReadRun
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
 from repro.tree.tree import Cursor, PositionalTree
@@ -371,16 +372,17 @@ class EOSManager(TreeBackedManager):
         return extents, kept_ranges
 
     def _piece_bytes(self, piece) -> Payload:
+        """Materialize one plan piece; disk pieces go through a read plan."""
         if isinstance(piece, MemPiece):
             return piece.data
         if isinstance(piece, KeepPiece):
-            return self.env.segio.read_boundary_unaligned(
-                piece.page_id, 0, piece.nbytes
-            )
+            plan = IOPlan(runs=(ReadRun(piece.page_id, 0, piece.nbytes),))
+            return self.env.exec.execute_read(plan)
         assert isinstance(piece, DiskPiece)
-        return self.env.segio.read_boundary_unaligned(
-            piece.page_id, piece.offset, piece.nbytes
+        plan = IOPlan(
+            runs=(ReadRun(piece.page_id, piece.offset, piece.nbytes),)
         )
+        return self.env.exec.execute_read(plan)
 
 
 def _whole(extent: LeafExtent) -> DiskPiece:

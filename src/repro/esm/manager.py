@@ -34,6 +34,7 @@ from repro.core.payload import (
     payload_view,
 )
 from repro.esm import leaf as leaf_rules
+from repro.exec.plan import IOPlan, LeafWrite, ReadRun
 from repro.tree.backed import TreeBackedManager
 from repro.tree.node import LeafExtent
 from repro.tree.tree import Cursor, PositionalTree
@@ -385,29 +386,35 @@ class ESMManager(TreeBackedManager):
 
     def _write_leaves(self, stream: Payload,
                       sizes: list[int]) -> list[LeafExtent]:
-        """Allocate a leaf per size and write each one's useful prefix."""
+        """Lay the stream out over fresh leaves via an allocate/write plan.
+
+        The plan describes one allocate-and-write intent per leaf (a
+        charged write of the useful prefix, or of the whole leaf under
+        the ablation's whole-leaf I/O); the batch engine executes it
+        against the buddy area and segment I/O layer in plan order.
+        """
         if sum(sizes) != len(stream):
             raise ByteRangeError("leaf arrangement does not cover the bytes")
-        extents = []
-        position = 0
-        for size in sizes:
-            page_id = self.env.areas.data.allocate(self.options.leaf_pages)
-            chunk = stream[position : position + size]
-            position += size
-            if self.options.partial_leaf_io:
-                self.env.segio.write_pages(page_id, chunk)
-            else:
-                self.env.segio.write_pages(
-                    page_id, chunk, n_pages=self.options.leaf_pages
-                )
-            extents.append(
-                LeafExtent(
-                    page_id=page_id,
-                    used_bytes=size,
-                    alloc_pages=self.options.leaf_pages,
-                )
+        alloc_pages = self.options.leaf_pages
+        whole = 0 if self.options.partial_leaf_io else alloc_pages
+        plan = IOPlan(
+            writes=tuple(LeafWrite(alloc_pages, size, whole) for size in sizes)
+        )
+        page_ids = self.env.exec.execute_write_leaves(plan, stream)
+        return [
+            LeafExtent(
+                page_id=page_id, used_bytes=size, alloc_pages=alloc_pages
             )
-        return extents
+            for page_id, size in zip(page_ids, sizes)
+        ]
+
+    def _plan_extent_read(
+        self, extent: LeafExtent, start: int, nbytes: int
+    ) -> ReadRun:
+        """Whole-leaf I/O reads the full segment and slices in memory."""
+        if self.options.partial_leaf_io:
+            return ReadRun(extent.page_id, start, nbytes)
+        return ReadRun(extent.page_id, start, nbytes, extent.alloc_pages)
 
     def _read_extent(self, extent: LeafExtent, start: int,
                      nbytes: int) -> Payload:

@@ -1,0 +1,103 @@
+"""Vectorized cost accounting for batched execution.
+
+The per-op path updates the :class:`~repro.disk.iomodel.IOStats` ledger
+on every physical call and measures each operation by snapshotting the
+whole ledger before and after (two dataclass allocations per op).  In a
+batch, the :class:`ChargeLog` replaces both: every charge appends to a
+prefix-sum array, per-op costs fall out of O(1) mark subtractions, and
+the ledger is updated by **one** arithmetic pass (five integer adds) at
+the batch boundary.
+
+The log is integer-exact: the committed ledger and every per-op cost
+are bit-identical to what the per-op path computes, because both reduce
+to ``calls * seek_ms + pages * transfer_ms_per_page`` over the same
+integer counts.
+"""
+
+from __future__ import annotations
+
+from repro.disk.iomodel import IOStats
+
+
+class ChargeLog:
+    """Append-only charge journal with prefix sums over one batch.
+
+    ``_cum_pages[k]`` is the total pages transferred by the first ``k``
+    charges; kind totals (read/write/retry splits) are carried
+    incrementally so committing the log to an :class:`IOStats` ledger is
+    O(1) regardless of batch length.
+    """
+
+    __slots__ = (
+        "read_calls",
+        "write_calls",
+        "pages_read",
+        "pages_written",
+        "retries",
+        "_cum_pages",
+    )
+
+    def __init__(self) -> None:
+        self.read_calls = 0
+        self.write_calls = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.retries = 0
+        self._cum_pages: list[int] = [0]
+
+    # ------------------------------------------------------------------
+    # Appends (called by the cost model while the log is installed)
+    # ------------------------------------------------------------------
+    def log_read(self, n_pages: int) -> None:
+        """Record one physical read call transferring ``n_pages``."""
+        self.read_calls += 1
+        self.pages_read += n_pages
+        cum = self._cum_pages
+        cum.append(cum[-1] + n_pages)
+
+    def log_write(self, n_pages: int) -> None:
+        """Record one physical write call transferring ``n_pages``."""
+        self.write_calls += 1
+        self.pages_written += n_pages
+        cum = self._cum_pages
+        cum.append(cum[-1] + n_pages)
+
+    def log_retry_read(self, n_pages: int) -> None:
+        """Record one retried read attempt (also a full call)."""
+        self.retries += 1
+        self.log_read(n_pages)
+
+    def log_retry_write(self, n_pages: int) -> None:
+        """Record one retried write attempt (also a full call)."""
+        self.retries += 1
+        self.log_write(n_pages)
+
+    # ------------------------------------------------------------------
+    # Per-op measurement
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """The current charge count, delimiting one operation."""
+        return len(self._cum_pages) - 1
+
+    def cost_ms_between(
+        self, lo: int, hi: int, seek_ms: float, transfer_ms_per_page: float
+    ) -> float:
+        """Simulated cost of the charges in ``[lo, hi)``, in milliseconds.
+
+        Identical arithmetic to ``IOStats.delta(...).elapsed_ms(...)``:
+        every charge is one call, so calls = ``hi - lo`` and pages come
+        from the prefix-sum array.
+        """
+        cum = self._cum_pages
+        return (hi - lo) * seek_ms + (cum[hi] - cum[lo]) * transfer_ms_per_page
+
+    # ------------------------------------------------------------------
+    # Batch-boundary commit
+    # ------------------------------------------------------------------
+    def commit_to(self, stats: IOStats) -> None:
+        """Fold the whole log into the ledger in one arithmetic pass."""
+        stats.read_calls += self.read_calls
+        stats.write_calls += self.write_calls
+        stats.pages_read += self.pages_read
+        stats.pages_written += self.pages_written
+        stats.retries += self.retries

@@ -1,0 +1,350 @@
+"""The batch engine: executes plans and op batches over one environment.
+
+One :class:`BatchEngine` hangs off every
+:class:`~repro.core.env.StorageEnvironment` (``env.exec``).  Outside a
+batch it is inert — plan execution delegates straight to the segment
+I/O layer and managers commit their own root pages and descriptors per
+operation, exactly as before.  Inside :meth:`BatchEngine.batch` three
+batch-scoped strategies switch on:
+
+* **Group commit.**  Root-page pokes (ESM/EOS) and long-field
+  descriptor flushes (Starburst) are *uncharged* image maintenance; the
+  managers hand them to the engine instead of running them per op, and
+  the engine commits each distinct root/descriptor exactly once at the
+  batch boundary.  Charged index-page flushes still run inside each
+  operation — deferring those would change the paper's cost model.
+
+* **Vectorized accounting.**  In untraced environments the cost model
+  journals charges into a :class:`~repro.exec.accounting.ChargeLog`
+  (prefix sums) instead of updating the ledger per call; the ledger is
+  folded once per batch and per-op costs are O(1) mark subtractions.
+  Traced environments keep per-call charging so span cost attribution
+  observes a live ledger.
+
+* **Crash-consistent frees.**  While a fault injector is armed, segment
+  and index-page frees are deferred to the batch boundary (after the
+  group commit) so a mid-batch crash can never have recycled a page the
+  last *committed* root still references.  The recovered image is then
+  always the batch-start state (crashes can only fire at charged
+  writes, which all precede the commit pokes) or the batch-end state
+  (crashes during the deferred frees land after the pokes).  Unfaulted
+  batches free immediately, keeping pool counters bit-identical to the
+  per-op path.
+
+The engine never coalesces charged runs: one :class:`ReadRun` or
+:class:`LeafWrite` maps to exactly the per-op path's physical calls, in
+the same order.  Only the uncharged flush intents are deduplicated.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, NamedTuple, Protocol, Sequence
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.payload import Payload, payload_concat
+from repro.exec.accounting import ChargeLog
+from repro.exec.plan import (
+    APPEND,
+    DELETE,
+    INSERT,
+    OP_KINDS,
+    READ,
+    REPLACE,
+    BatchOp,
+    IOPlan,
+)
+
+if TYPE_CHECKING:
+    from repro.buddy.allocator import BuddyAllocator
+    from repro.core.env import StorageEnvironment
+    from repro.core.manager import LargeObjectManager
+
+
+class RootHost(Protocol):
+    """A positional tree whose root commit can be group-deferred."""
+
+    root_page_id: int
+
+    def commit_root(self) -> None:
+        """Poke the root's current serialized image (uncharged)."""
+
+    def mark_root_dirty(self) -> None:
+        """Re-mark the root dirty (in-memory bookkeeping only)."""
+
+
+class DescriptorPage(Protocol):
+    """The part of a long-field descriptor the engine keys on."""
+
+    page_id: int
+
+
+class DescriptorHost(Protocol):
+    """A manager whose descriptor flush can be group-deferred."""
+
+    def flush_descriptor(self, descriptor: DescriptorPage) -> None:
+        """Bring the descriptor's disk image current (uncharged)."""
+
+
+class BatchResult(NamedTuple):
+    """Outcome of one submitted batch.
+
+    ``results`` holds one entry per op — the payload for reads, ``None``
+    for mutations; ``op_costs_ms`` the per-op simulated cost, computed
+    exactly as the per-op path's ledger-delta measurement.
+    """
+
+    results: tuple["Payload | None", ...]
+    op_costs_ms: tuple[float, ...]
+
+
+class BatchEngine:
+    """Plan/batch executor bound to one storage environment."""
+
+    def __init__(self, env: "StorageEnvironment") -> None:
+        self.env = env
+        #: True while a batch is open; managers consult this to decide
+        #: whether flush intents go to the engine or run inline.
+        self.active = False
+        self._log: ChargeLog | None = None
+        self._pending_roots: dict[int, RootHost] = {}
+        self._pending_descriptors: dict[
+            int, tuple[DescriptorHost, DescriptorPage]
+        ] = {}
+        self._deferred_frees: list[tuple["BuddyAllocator", int, int]] = []
+        self._frees_deferred = False
+
+    # ------------------------------------------------------------------
+    # Plan execution (used per op, inside or outside a batch)
+    # ------------------------------------------------------------------
+    def execute_read(self, plan: IOPlan) -> Payload:
+        """Execute a read plan: each run charges the hybrid read policy.
+
+        Runs are never coalesced — each corresponds to one segment
+        access of the paper's cost model, exactly as the per-op path
+        issued them.  A run with an explicit ``read_pages`` reads the
+        whole segment prefix and slices in memory (the whole-leaf I/O
+        ablation); the default derives the page range from the byte
+        range via the 3-step unaligned-boundary protocol.
+        """
+        segio = self.env.segio
+        parts: list[Payload] = []
+        for run in plan.runs:
+            if run.read_pages:
+                whole = segio.read_pages(run.page_id, run.read_pages)
+                parts.append(whole[run.start : run.start + run.nbytes])
+            else:
+                parts.append(
+                    segio.read_boundary_unaligned(
+                        run.page_id, run.start, run.nbytes
+                    )
+                )
+        return payload_concat(parts)
+
+    def execute_write_leaves(self, plan: IOPlan, stream: Payload) -> list[int]:
+        """Execute a leaf-write plan against the data area.
+
+        Per leaf, in plan order: claim ``alloc_pages`` from the buddy
+        data area, then write the leaf's slice of ``stream`` (padded to
+        ``write_pages`` pages under whole-leaf I/O).  The interleaving
+        matches the per-op path call-for-call, so buddy directory
+        accesses and charged writes land in identical order.  Returns
+        the first page id of each new leaf segment.
+        """
+        segio = self.env.segio
+        allocate = self.env.areas.data.allocate
+        page_ids: list[int] = []
+        position = 0
+        for item in plan.writes:
+            page_id = allocate(item.alloc_pages)
+            chunk = stream[position : position + item.used_bytes]
+            position += item.used_bytes
+            if item.write_pages:
+                segio.write_pages(page_id, chunk, n_pages=item.write_pages)
+            else:
+                segio.write_pages(page_id, chunk)
+            page_ids.append(page_id)
+        return page_ids
+
+    # ------------------------------------------------------------------
+    # Batch lifecycle
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def batch(self) -> Iterator[None]:
+        """Open a batch: group commit, charge journal, deferred frees.
+
+        On success the pending flush intents are committed and the
+        charge journal folded into the ledger.  On error the physically
+        performed charges are still folded (the I/O happened), but
+        nothing is poked at the disk — after an injected crash the
+        environment is dead, and pushing state from cleanup is the PR 4
+        bug class.  Deferred roots are re-marked dirty so the next
+        successful operation commits them.
+        """
+        if self.active:
+            raise InvalidArgumentError("op batches do not nest")
+        env = self.env
+        self.active = True
+        if env.tracer is None:
+            self._log = ChargeLog()
+            env.cost.install_log(self._log)
+        if env.disk.fault_site is not None:
+            self._frees_deferred = True
+            env.areas.meta.free_sink = self._defer_free
+            env.areas.data.free_sink = self._defer_free
+        try:
+            yield
+        except BaseException:
+            self._abort()
+            raise
+        self._commit()
+
+    def _commit(self) -> None:
+        """Batch boundary: pokes, descriptor flushes, frees, accounting."""
+        env = self.env
+        # 1. Group commit: each distinct root/descriptor exactly once.
+        #    These are uncharged pokes, so they cannot fire an injected
+        #    crash — every crash point inside the batch precedes them.
+        for tree in self._pending_roots.values():
+            tree.commit_root()
+        self._pending_roots.clear()
+        for host, descriptor in self._pending_descriptors.values():
+            host.flush_descriptor(descriptor)
+        self._pending_descriptors.clear()
+        # 2. Apply deferred frees (fault-armed batches only), in original
+        #    order so buddy coalescing is deterministic.  They run after
+        #    the pokes: a crash during a directory writeback here leaves
+        #    the *committed* batch-end image behind.
+        frees = self._deferred_frees
+        self._uninstall_free_sinks()
+        for allocator, page_id, n_pages in frees:
+            allocator.free(page_id, n_pages)
+        self._deferred_frees = []
+        # 3. Fold the charge journal into the ledger in one pass.
+        log = self._log
+        if log is not None:
+            env.cost.clear_log()
+            log.commit_to(env.cost.stats)
+            self._log = None
+        self.active = False
+
+    def _abort(self) -> None:
+        """Unwind a failed batch without touching pool or disk state.
+
+        The journaled charges are folded — that I/O physically happened
+        before the failure — and deferred roots are re-marked dirty in
+        memory so the next successful op span commits their images.
+        Deferred frees are dropped: their ops never committed.
+        """
+        for tree in self._pending_roots.values():
+            tree.mark_root_dirty()
+        self._pending_roots.clear()
+        self._pending_descriptors.clear()
+        self._deferred_frees = []
+        self._uninstall_free_sinks()
+        log = self._log
+        if log is not None:
+            self.env.cost.clear_log()
+            log.commit_to(self.env.cost.stats)
+            self._log = None
+        self.active = False
+
+    def _uninstall_free_sinks(self) -> None:
+        if self._frees_deferred:
+            self.env.areas.meta.free_sink = None
+            self.env.areas.data.free_sink = None
+            self._frees_deferred = False
+
+    def _defer_free(
+        self, allocator: "BuddyAllocator", page_id: int, n_pages: int
+    ) -> None:
+        self._deferred_frees.append((allocator, page_id, n_pages))
+
+    # ------------------------------------------------------------------
+    # Flush-intent registration (managers call these from op brackets)
+    # ------------------------------------------------------------------
+    def defer_root(self, tree: RootHost) -> bool:
+        """Queue a root poke for the batch boundary; False outside a batch."""
+        if not self.active:
+            return False
+        self._pending_roots[tree.root_page_id] = tree
+        return True
+
+    def defer_descriptor(
+        self, host: DescriptorHost, descriptor: DescriptorPage
+    ) -> bool:
+        """Queue a descriptor flush for the batch boundary."""
+        if not self.active:
+            return False
+        self._pending_descriptors[descriptor.page_id] = (host, descriptor)
+        return True
+
+    # ------------------------------------------------------------------
+    # Batch dispatch
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        manager: "LargeObjectManager",
+        oid: int,
+        ops: Sequence[BatchOp],
+    ) -> BatchResult:
+        """Execute ``ops`` against one object as a single batch.
+
+        Invalid op kinds are rejected before anything executes, so the
+        only mid-batch failures are real operation errors.
+        """
+        for op in ops:
+            if op.kind not in OP_KINDS:
+                raise InvalidArgumentError(
+                    f"unknown batch op kind {op.kind!r}; "
+                    f"expected one of {sorted(OP_KINDS)}"
+                )
+        tracer = self.env.tracer
+        if tracer is None:
+            with self.batch():
+                return self._dispatch(manager, oid, ops)
+        with tracer.span("exec.batch", ops=len(ops), scheme=manager.scheme):
+            with self.batch():
+                return self._dispatch(manager, oid, ops)
+
+    def _dispatch(
+        self,
+        manager: "LargeObjectManager",
+        oid: int,
+        ops: Sequence[BatchOp],
+    ) -> BatchResult:
+        results: list["Payload | None"] = []
+        costs: list[float] = []
+        cost = self.env.cost
+        config = self.env.config
+        seek = config.seek_ms
+        transfer = config.transfer_ms_per_page
+        log = self._log
+        for op in ops:
+            kind = op.kind
+            if log is not None:
+                lo = log.mark()
+            else:
+                before = cost.snapshot()
+            if kind == READ:
+                results.append(manager.read(oid, op.offset, op.nbytes))
+            elif kind == INSERT:
+                manager.insert(oid, op.offset, op.data)
+                results.append(None)
+            elif kind == DELETE:
+                manager.delete(oid, op.offset, op.nbytes)
+                results.append(None)
+            elif kind == APPEND:
+                manager.append(oid, op.data)
+                results.append(None)
+            else:  # REPLACE (kinds were validated up front)
+                assert kind == REPLACE
+                manager.replace(oid, op.offset, op.data)
+                results.append(None)
+            if log is not None:
+                costs.append(
+                    log.cost_ms_between(lo, log.mark(), seek, transfer)
+                )
+            else:
+                costs.append(cost.elapsed_since(before))
+        return BatchResult(tuple(results), tuple(costs))

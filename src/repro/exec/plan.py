@@ -1,0 +1,118 @@
+"""Typed I/O plan descriptors emitted by the managers.
+
+A plan is data, not behaviour: a tuple of run descriptors with page
+ranges and a *charge class* saying how executing the run hits the cost
+ledger.  The split lets the engine execute a whole operation (or a whole
+batch of operations) without the manager re-entering the pool per piece,
+and gives the coalescer a machine-checkable rule: only
+:data:`UNCHARGED` intents may ever be merged or deferred — a
+:data:`CHARGED` run corresponds one-to-one to physical I/O calls of the
+paper's cost model and must execute exactly as described.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.payload import Payload
+
+#: Charge classes of a run descriptor.  ``CHARGED`` runs charge seeks
+#: and page transfers when executed and are never coalesced;
+#: ``UNCHARGED`` intents (root pokes, descriptor flushes) may be
+#: deduplicated and group-committed at batch boundaries.
+CHARGED = "charged"
+UNCHARGED = "uncharged"
+
+
+class ReadRun(NamedTuple):
+    """One byte range to read out of one segment (charge class: charged).
+
+    ``page_id`` is the segment's first page; ``start``/``nbytes`` are the
+    byte range *within* the segment.  ``read_pages`` is the explicit
+    page count of the charged read (the whole-leaf I/O ablation reads
+    the full segment and slices in memory); zero means "derive from the
+    byte range", the partial-leaf default.  Execution charges the
+    paper's hybrid read policy for the run (whole-run pool read, or the
+    3-step unaligned-boundary protocol), exactly as the per-op path
+    does.
+    """
+
+    page_id: int
+    start: int
+    nbytes: int
+    read_pages: int = 0
+
+
+class LeafWrite(NamedTuple):
+    """Allocate-and-write intent for one fresh leaf segment.
+
+    ``alloc_pages`` pages are claimed from the data area, then
+    ``used_bytes`` bytes of the plan's byte stream are written into the
+    new segment.  ``write_pages`` is the explicit page count of the
+    charged write (whole-leaf I/O pads it up to ``alloc_pages``); zero
+    means "derive from ``used_bytes``", the partial-leaf default.  The
+    allocation mutates the buddy directory and the write is charged —
+    both are executed in plan order, interleaved per leaf, matching the
+    per-op path call-for-call.
+    """
+
+    alloc_pages: int
+    used_bytes: int
+    write_pages: int
+
+
+class IOPlan(NamedTuple):
+    """A fully described I/O request: ordered runs over one object."""
+
+    runs: tuple[ReadRun, ...] = ()
+    writes: tuple[LeafWrite, ...] = ()
+
+
+#: ``BatchOp.kind`` values accepted by ``submit_ops``.  Lifecycle
+#: operations (create/destroy) are excluded: batches operate on one
+#: existing object.
+READ = "read"
+APPEND = "append"
+INSERT = "insert"
+DELETE = "delete"
+REPLACE = "replace"
+
+OP_KINDS = frozenset({READ, APPEND, INSERT, DELETE, REPLACE})
+
+
+class BatchOp(NamedTuple):
+    """One byte-range operation in a submitted batch.
+
+    ``data`` is required by ``append``/``insert``/``replace``;
+    ``nbytes`` by ``read``/``delete``.  The unused field is ignored.
+    """
+
+    kind: str
+    offset: int = 0
+    nbytes: int = 0
+    data: Payload = b""
+
+
+def read_op(offset: int, nbytes: int) -> BatchOp:
+    """A batched read of ``nbytes`` at ``offset``."""
+    return BatchOp(READ, offset=offset, nbytes=nbytes)
+
+
+def append_op(data: Payload) -> BatchOp:
+    """A batched append of ``data``."""
+    return BatchOp(APPEND, data=data)
+
+
+def insert_op(offset: int, data: Payload) -> BatchOp:
+    """A batched insert of ``data`` at ``offset``."""
+    return BatchOp(INSERT, offset=offset, data=data)
+
+
+def delete_op(offset: int, nbytes: int) -> BatchOp:
+    """A batched delete of ``nbytes`` at ``offset``."""
+    return BatchOp(DELETE, offset=offset, nbytes=nbytes)
+
+
+def replace_op(offset: int, data: Payload) -> BatchOp:
+    """A batched in-place overwrite of ``data`` at ``offset``."""
+    return BatchOp(REPLACE, offset=offset, data=data)

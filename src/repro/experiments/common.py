@@ -17,6 +17,7 @@ from repro.core.api import LargeObjectStore
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.errors import InvalidArgumentError
 from repro.core.payload import SizedPayload
+from repro.exec.plan import append_op
 
 MB = 1 << 20
 KB = 1 << 10
@@ -97,8 +98,25 @@ XL_SCALE = Scale(
     append_sizes_kb=(64, 512),
 )
 
+#: GB-class scale, only practical on the batch execution path
+#: (:mod:`repro.exec`): group commit and one-pass accounting cut the
+#: per-op overhead that dominates wall-clock at this size.  The full
+#: STANDARD_GRID completes in roughly a minute of wall-clock on a
+#: current laptop core (BENCH_7.json records a measured run); the
+#: per-op path takes several times that.  Like ``xl``, feasible only
+#: because payloads are length-only.
+XXL_SCALE = Scale(
+    name="xxl",
+    object_bytes=1024 * MB,
+    n_ops=1_200,
+    window=300,
+    starburst_ops=24,
+    append_sizes_kb=(64, 512),
+)
+
 _SCALES = {
-    s.name: s for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE, XL_SCALE)
+    s.name: s
+    for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE, XL_SCALE, XXL_SCALE)
 }
 
 
@@ -160,6 +178,34 @@ def build_object(
         take = min(chunk_bytes, total_bytes - done)
         store.append(oid, chunk if take == chunk_bytes else chunk[:take])
         done += take
+    trim = getattr(store.manager, "trim", None)
+    if trim is not None:
+        trim(oid)
+    return oid
+
+
+def build_object_batched(
+    store: LargeObjectStore, total_bytes: int, chunk_bytes: int
+) -> int:
+    """:func:`build_object`, but submitting the appends as one op batch.
+
+    Same appends in the same order through ``submit_ops``
+    (:mod:`repro.exec`), so the built object, its counters, and the
+    final image are bit-identical to the per-op build; the batch engine's
+    group commit and one-pass accounting make it several times faster.
+    The trailing trim stays per-op (it is a lifecycle fix-up, not a
+    batch op kind).
+    """
+    oid = store.create()
+    chunk = SizedPayload(chunk_bytes)
+    ops = []
+    done = 0
+    while done < total_bytes:
+        take = min(chunk_bytes, total_bytes - done)
+        ops.append(append_op(chunk if take == chunk_bytes else chunk[:take]))
+        done += take
+    if ops:
+        store.submit_ops(oid, ops)
     trim = getattr(store.manager, "trim", None)
     if trim is not None:
         trim(oid)

@@ -52,6 +52,22 @@ def runtime_checks_enabled() -> bool:
     return os.environ.get(RUNTIME_FLAG, "") == "1"
 
 
+#: Public probes for inlining the flag checks on the hottest call sites
+#: (node count caches, pool fixes, op spans).  Usage::
+#:
+#:     _ENV, _KEY, _ON = DEBUG_PROBE
+#:     if _ENV is None or _ENV.get(_KEY) == _ON:
+#:         if runtime_checks_enabled():
+#:             ... slow verification ...
+#:
+#: On CPython the common (flag off) case is one dict lookup and one
+#: comparison; the ``None`` fallback routes non-CPython layouts through
+#: the full function.  The probes stay dynamic because the underlying
+#: dict is ``os.environ``'s own mutable storage.
+DEBUG_PROBE: "tuple[dict | None, object, object]"
+SAN_PROBE: "tuple[dict | None, object, object]"
+
+
 #: Environment variable that switches the pin-balance sanitizer on.  The
 #: sanitizer is the runtime mirror of the static FLOW001 typestate rule
 #: (``repro.lint --flow``): FLOW001 proves fix/unfix balance over the
@@ -70,6 +86,10 @@ def sanitizer_enabled() -> bool:
     if _ENV_DATA is not None:
         return _ENV_DATA.get(_SAN_KEY) == _FLAG_ON
     return os.environ.get(SANITIZER_FLAG, "") == "1"
+
+
+DEBUG_PROBE = (_ENV_DATA, _FLAG_KEY, _FLAG_ON)
+SAN_PROBE = (_ENV_DATA, _SAN_KEY, _FLAG_ON)
 
 
 def _find_disk(obj: Any) -> Any | None:
@@ -107,7 +127,13 @@ def pure_read(func: F) -> F:
 
     @functools.wraps(func)
     def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
-        if not runtime_checks_enabled():
+        # runtime_checks_enabled() inlined: the wrapper sits on paths hot
+        # enough that even one extra function call per invocation shows
+        # up in the bench grid.
+        if _ENV_DATA is not None:
+            if _ENV_DATA.get(_FLAG_KEY) != _FLAG_ON:
+                return func(self, *args, **kwargs)
+        elif not runtime_checks_enabled():
             return func(self, *args, **kwargs)
         disk = _find_disk(self)
         if disk is None:

@@ -353,7 +353,7 @@ class CrashSafeCleanupRule(FlowRule):
 
     _layers = frozenset({
         "esm", "eos", "starburst", "blockbased", "tree", "segio",
-        "records", "buddy",
+        "records", "buddy", "exec",
     })
 
     def check(self, program: Program) -> Iterator[Violation]:
@@ -846,9 +846,15 @@ class ChargeCompletenessRule(FlowRule):
                     return True
         return False
 
+    #: Concrete base-class entry points that also reach charged I/O and
+    #: must open a span: the batch submission API dispatches every
+    #: byte-range op, so an unspanned ``submit_ops`` would leave whole
+    #: batches outside the cost decomposition.
+    _extra_required = frozenset({"submit_ops"})
+
     def _interface_methods(self, program: Program) -> set[str]:
         """Abstract method names of the manager base class."""
-        required: set[str] = set()
+        required: set[str] = set(self._extra_required)
         for (_, cls_name), cls_info in program.classes.items():
             if cls_name != self._manager_base:
                 continue

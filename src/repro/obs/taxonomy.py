@@ -15,7 +15,10 @@ is a deliberate, reviewed act of extending the trace vocabulary.
 
 from __future__ import annotations
 
-#: Paper-facing byte-range operations (``LargeObjectManager`` overrides).
+#: Paper-facing byte-range operations (``LargeObjectManager`` overrides),
+#: plus the batch submission entry point (``submit_ops`` opens
+#: ``op.batch`` around a whole submitted batch; the individual ops still
+#: open their own ``op.*`` spans inside it).
 OP_SPAN_KINDS: frozenset[str] = frozenset({
     "op.create",
     "op.destroy",
@@ -25,14 +28,18 @@ OP_SPAN_KINDS: frozenset[str] = frozenset({
     "op.insert",
     "op.delete",
     "op.replace",
+    "op.batch",
 })
 
-#: Interior spans: segment I/O, tree maintenance, bench phases.
+#: Interior spans: segment I/O, tree maintenance, batch execution,
+#: bench phases.  ``exec.batch`` wraps the engine's dispatch of one
+#: submitted batch (between ``op.batch`` and the per-op spans).
 INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
     "segio.read",
     "segio.read_unaligned",
     "segio.write",
     "tree.flush",
+    "exec.batch",
     "bench.setup",
     "bench.measure",
 })

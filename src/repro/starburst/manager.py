@@ -27,6 +27,7 @@ from repro.core.payload import (
     payload_concat,
     payload_view,
 )
+from repro.exec.plan import IOPlan, ReadRun
 from repro.starburst.descriptor import (
     LongFieldDescriptor,
     Segment,
@@ -112,28 +113,36 @@ class StarburstManager(LargeObjectManager):
     # Reads
     # ------------------------------------------------------------------
     def read(self, oid: int, offset: int, nbytes: int) -> Payload:
-        """Read a byte range straight from the affected segments."""
+        """Read a byte range straight from the affected segments.
+
+        The descriptor walk *plans* the read — one charged run per
+        affected segment — and the batch engine executes the plan.
+        """
         descriptor = self._descriptor(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
         with self._op_span("read", oid):
             self._touch_descriptor(descriptor)
-            index, within = descriptor.locate(offset)
-            pieces: list[Payload] = []
-            remaining = nbytes
-            while remaining > 0:
-                segment = descriptor.segments[index]
-                take = min(segment.used_bytes - within, remaining)
-                pieces.append(
-                    self.env.segio.read_boundary_unaligned(
-                        segment.page_id, within, take
-                    )
-                )
-                remaining -= take
-                within = 0
-                index += 1
-            return payload_concat(pieces)
+            return self.env.exec.execute_read(
+                self._plan_read(descriptor, offset, nbytes)
+            )
+
+    def _plan_read(
+        self, descriptor: LongFieldDescriptor, offset: int, nbytes: int
+    ) -> IOPlan:
+        """Describe a byte-range read as charged per-segment run descriptors."""
+        index, within = descriptor.locate(offset)
+        runs: list[ReadRun] = []
+        remaining = nbytes
+        while remaining > 0:
+            segment = descriptor.segments[index]
+            take = min(segment.used_bytes - within, remaining)
+            runs.append(ReadRun(segment.page_id, within, take))
+            remaining -= take
+            within = 0
+            index += 1
+        return IOPlan(runs=tuple(runs))
 
     # ------------------------------------------------------------------
     # Append
@@ -309,7 +318,19 @@ class StarburstManager(LargeObjectManager):
 
     @contextlib.contextmanager
     def _op(self, descriptor: LongFieldDescriptor):
+        """Operation bracket: keep the descriptor image current on success.
+
+        Inside a batch the (uncharged) flush is handed to the engine,
+        which commits each distinct descriptor once per batch.
+        """
         yield
+        engine = self.env.exec
+        if engine.active and engine.defer_descriptor(self, descriptor):
+            return
+        self._flush_descriptor(descriptor)
+
+    def flush_descriptor(self, descriptor: LongFieldDescriptor) -> None:
+        """Group-commit entry point used by the batch engine."""
         self._flush_descriptor(descriptor)
 
     def _touch_descriptor(self, descriptor: LongFieldDescriptor) -> None:

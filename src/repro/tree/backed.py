@@ -12,8 +12,9 @@ import contextlib
 
 from repro.buddy.area import DATA_AREA_BASE
 from repro.core.env import StorageEnvironment
-from repro.core.payload import Payload, payload_concat
+from repro.core.payload import Payload
 from repro.core.manager import LargeObjectManager
+from repro.exec.plan import IOPlan, ReadRun
 from repro.tree.node import LeafExtent
 from repro.tree.tree import PositionalTree
 
@@ -71,21 +72,42 @@ class TreeBackedManager(LargeObjectManager):
     def read(self, oid: int, offset: int, nbytes: int) -> Payload:
         """Read a byte range located through the positional tree.
 
-        Phantom leaf data comes back as a length-only
-        :class:`~repro.core.payload.SizedPayload`; recorded data as real
-        ``bytes``.
+        The tree descent *plans* the read — a run descriptor per covered
+        extent — and the batch engine executes the plan against the
+        segment I/O layer.  Phantom leaf data comes back as a
+        length-only :class:`~repro.core.payload.SizedPayload`; recorded
+        data as real ``bytes``.
         """
         tree = self._tree(oid)
         self._check_range(oid, offset, nbytes)
         if nbytes == 0:
             return b""
         with self._op_span("read", oid):
-            pieces: list[Payload] = []
-            for extent, start in tree.extents_covering(offset, nbytes):
-                lo = max(offset, start) - start
-                hi = min(offset + nbytes, start + extent.used_bytes) - start
-                pieces.append(self._read_extent(extent, lo, hi - lo))
-            return payload_concat(pieces)
+            return self.env.exec.execute_read(
+                self._plan_read(tree, offset, nbytes)
+            )
+
+    def _plan_read(
+        self, tree: PositionalTree, offset: int, nbytes: int
+    ) -> IOPlan:
+        """Describe a byte-range read as charged per-extent run descriptors."""
+        runs: list[ReadRun] = []
+        for extent, start in tree.extents_covering(offset, nbytes):
+            lo = max(offset, start) - start
+            hi = min(offset + nbytes, start + extent.used_bytes) - start
+            if hi > lo:
+                runs.append(self._plan_extent_read(extent, lo, hi - lo))
+        return IOPlan(runs=tuple(runs))
+
+    def _plan_extent_read(
+        self, extent: LeafExtent, start: int, nbytes: int
+    ) -> ReadRun:
+        """Describe a read of ``nbytes`` at ``start`` within one extent.
+
+        Subclasses override to change the charged page range (ESM's
+        whole-leaf I/O ablation reads the full segment).
+        """
+        return ReadRun(extent.page_id, start, nbytes)
 
     def _read_extent(self, extent: LeafExtent, start: int,
                      nbytes: int) -> Payload:
@@ -130,10 +152,14 @@ class TreeBackedManager(LargeObjectManager):
         halt latch contains at runtime (and FLOW002 now rejects
         statically).  A failed operation leaves its dirty marks in
         place; the next successful operation flushes them.
+
+        Inside a batch, the uncharged root poke is handed to the engine
+        for group commit; the charged non-root flush still runs here.
         """
         tree.begin_op()
         yield
-        tree.end_op()
+        engine = self.env.exec
+        tree.end_op(defer_root=engine.defer_root if engine.active else None)
 
     def _extend_fresh(self, tree: PositionalTree, data: Payload) -> None:
         """Lay brand-new bytes out at the end of an (empty) object."""

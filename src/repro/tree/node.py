@@ -18,7 +18,12 @@ import struct
 
 from repro.core.config import SystemConfig
 from repro.core.errors import InvalidArgumentError, StorageCorruptionError
-from repro.lint.contracts import runtime_checks_enabled
+from repro.lint.contracts import DEBUG_PROBE, runtime_checks_enabled
+
+# cums() and serialize() run tens of thousands of times per experiment;
+# the stale-cache verification they guard is REPRO_DEBUG-only, so the
+# flag check itself must cost one dict lookup (see contracts.DEBUG_PROBE).
+_DBG_ENV, _DBG_KEY, _DBG_ON = DEBUG_PROBE
 
 _NODE_HEADER = struct.Struct("<2sBBHH")  # magic, level, flags, n_entries, pad
 _ROOT_HEADER = struct.Struct("<2sBBHHQIQQI")  # + total_bytes, rightmost_alloc, rsvd
@@ -136,7 +141,9 @@ class IndexNode:
                 total += entry.bytes_count
                 cums.append(total)
             self._cums_valid = n
-        if runtime_checks_enabled():
+        if (_DBG_ENV is None or _DBG_ENV.get(_DBG_KEY) == _DBG_ON) and (
+            runtime_checks_enabled()
+        ):
             counts = [entry.bytes_count for entry in entries]
             if cums != list(itertools.accumulate(counts)):
                 raise StorageCorruptionError(
@@ -196,7 +203,9 @@ class IndexNode:
             )
             packed += struct.pack(f"<{len(flat)}I", *flat)
             self._packed_pairs = n
-        if runtime_checks_enabled():
+        if (_DBG_ENV is None or _DBG_ENV.get(_DBG_KEY) == _DBG_ON) and (
+            runtime_checks_enabled()
+        ):
             base = data_base if self.is_leaf_parent else meta_base
             expected = b"".join(
                 _PAIR.pack(

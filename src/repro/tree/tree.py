@@ -141,7 +141,10 @@ class PositionalTree:
         for page_id in sorted(self._dirty):
             self._nodes[page_id].shadowed_this_op = False
 
-    def end_op(self) -> None:
+    def end_op(
+        self,
+        defer_root: "Callable[[PositionalTree], bool] | None" = None,
+    ) -> None:
         """Flush every index page modified by the operation (Section 3.3).
 
         The root is exempt: it lives with the object descriptor in the
@@ -150,6 +153,12 @@ class PositionalTree:
         level-1 appends have "no index pages to write").  Its disk image
         is still kept current, without cost, so (de)serialization and
         crash-free reopen paths stay exercised.
+
+        ``defer_root`` is the batch engine's group-commit hook: when it
+        accepts the tree, the uncharged root poke is postponed to the
+        batch boundary (one poke per tree per batch) instead of running
+        here.  The charged non-root flush always runs per operation —
+        deferring it would change the cost model.
         """
         if not self._dirty:
             return
@@ -162,18 +171,46 @@ class PositionalTree:
         ):
             self._flush_non_root()
             if root_dirty:
-                # The root write is the operation's commit point: it lands
-                # only after every shadowed index page is safely on disk.
                 root = self._nodes[self.root_page_id]
-                self.pool.disk.poke_pages(
-                    self.root_page_id, self._serialize_node(root)
-                )
-                self.pool.update_if_resident(
-                    self.root_page_id,
-                    self.pool.disk.peek_pages(self.root_page_id, 1),
-                )
+                if defer_root is None or not defer_root(self):
+                    # The root write is the operation's commit point: it
+                    # lands only after every shadowed index page is
+                    # safely on disk.
+                    self._poke_root(root)
                 root.dirty = False
                 root.shadowed_this_op = False
+
+    def _poke_root(self, root: "IndexNode") -> None:
+        """Push the root's serialized image at the disk (uncharged)."""
+        self.pool.disk.poke_pages(
+            self.root_page_id, self._serialize_node(root)
+        )
+        self.pool.update_if_resident(
+            self.root_page_id,
+            self.pool.disk.peek_pages(self.root_page_id, 1),
+        )
+
+    def commit_root(self) -> None:
+        """Group-commit half of :meth:`end_op`: poke the current root.
+
+        Called by the batch engine once per batch for every tree whose
+        root poke was deferred.  The root never relocates and is always
+        readable from memory, so committing the *final* state once is
+        image-equivalent to poking after every operation.
+        """
+        self._poke_root(self._nodes[self.root_page_id])
+
+    def mark_root_dirty(self) -> None:
+        """Re-mark the root dirty (in-memory only; no I/O).
+
+        Used when a batch aborts after deferring this tree's root poke:
+        the next successful operation's :meth:`end_op` then commits the
+        root image, restoring the per-op contract that a failed
+        operation's dirty marks are flushed by the next success.
+        """
+        root = self._nodes[self.root_page_id]
+        root.dirty = True
+        self._dirty.add(self.root_page_id)
 
     def _flush_non_root(self) -> None:
         if not self._dirty:
@@ -217,6 +254,22 @@ class PositionalTree:
         if not node.entries:
             raise ByteRangeError("object is empty")
         path: list[tuple[IndexNode, int]] = []
+        if offset == self.total_bytes:
+            # Append position: every level takes its last child, so the
+            # descent needs no cumulative counts or bisection at all —
+            # the rightmost extent starts ``used_bytes`` before the end.
+            while True:
+                index = len(node.entries) - 1
+                path.append((node, index))
+                entry = node.entries[index]
+                if node.is_leaf_parent:
+                    assert isinstance(entry.ref, LeafExtent)
+                    return Cursor(
+                        extent=entry.ref,
+                        extent_start=offset - entry.ref.used_bytes,
+                        path=path,
+                    )
+                node = self._get_node(entry.ref)
         start = 0
         while True:
             index, child_start = _choose_child(node, offset - start)
@@ -394,14 +447,24 @@ class PositionalTree:
         # Descend to the leaf parent where the boundary at `position` lives.
         path: list[tuple[IndexNode, int]] = []
         node = root
-        start = 0
-        while not node.is_leaf_parent:
-            index, child_start = _choose_child(node, position - start,
-                                               for_boundary=True)
-            start += child_start
-            path.append((node, index))
-            node = self._get_node(node.entries[index].ref)
-        insert_at = _boundary_index(node, position - start)
+        if position == self.total_bytes:
+            # Append: the boundary is the right edge, so each level takes
+            # its last child and the entry lands at the end of the leaf
+            # parent — no cumulative counts or bisection needed.
+            while not node.is_leaf_parent:
+                index = len(node.entries) - 1
+                path.append((node, index))
+                node = self._get_node(node.entries[index].ref)
+            insert_at = len(node.entries)
+        else:
+            start = 0
+            while not node.is_leaf_parent:
+                index, child_start = _choose_child(node, position - start,
+                                                   for_boundary=True)
+                start += child_start
+                path.append((node, index))
+                node = self._get_node(node.entries[index].ref)
+            insert_at = _boundary_index(node, position - start)
         node.entries.insert(insert_at, Entry(extent.used_bytes, extent))
         node.counts_changed(insert_at)
         for ancestor, child_index in path:

@@ -13,6 +13,10 @@ import dataclasses
 
 from repro.core.manager import LargeObjectManager
 from repro.core.payload import SizedPayload
+from repro.exec.plan import BatchOp
+from repro.exec.plan import DELETE as B_DELETE
+from repro.exec.plan import INSERT as B_INSERT
+from repro.exec.plan import READ as B_READ
 from repro.workload.generator import DELETE, INSERT, READ, WorkloadGenerator
 from repro.core.errors import InvalidArgumentError
 
@@ -106,6 +110,64 @@ class WorkloadRunner:
             if index % window == 0 or index == n_ops:
                 current.ops_done = index
                 current.utilization = self.manager.utilization(self.oid)
+                windows.append(current)
+                current = WindowStats(ops_done=0)
+        return windows
+
+    def run_batched(
+        self,
+        n_ops: int,
+        window: int = 2000,
+        keep_op_costs: bool = False,
+    ) -> list[WindowStats]:
+        """Like :meth:`run`, but submitting each window as one op batch.
+
+        The generator's op stream is deterministic and self-contained,
+        so collecting a window of operations up front and executing it
+        through ``submit_ops`` runs the *same* ops in the same order;
+        the engine's per-op costs use the same integer arithmetic as the
+        per-op ledger deltas, so the returned windows — averages,
+        totals, samples, utilization — are bit-identical to
+        :meth:`run`'s.
+        """
+        if window <= 0:
+            raise InvalidArgumentError("window must be positive")
+        windows: list[WindowStats] = []
+        current = WindowStats(ops_done=0)
+        manager = self.manager
+        pending: list[BatchOp] = []
+        index = 0
+        for op in self.generator.operations(n_ops):
+            index += 1
+            if op.kind == READ:
+                pending.append(BatchOp(B_READ, op.offset, op.nbytes))
+            elif op.kind == INSERT:
+                pending.append(
+                    BatchOp(B_INSERT, op.offset, data=self._bytes(op.nbytes))
+                )
+            elif op.kind == DELETE:
+                pending.append(BatchOp(B_DELETE, op.offset, op.nbytes))
+            if index % window == 0 or index == n_ops:
+                result = manager.submit_ops(self.oid, pending)
+                for bop, cost in zip(pending, result.op_costs_ms):
+                    if bop.kind == B_READ:
+                        current.reads += 1
+                        current.read_ms_total += cost
+                        if keep_op_costs:
+                            current.read_samples.append(cost)
+                    elif bop.kind == B_INSERT:
+                        current.inserts += 1
+                        current.insert_ms_total += cost
+                        if keep_op_costs:
+                            current.insert_samples.append(cost)
+                    else:
+                        current.deletes += 1
+                        current.delete_ms_total += cost
+                        if keep_op_costs:
+                            current.delete_samples.append(cost)
+                pending = []
+                current.ops_done = index
+                current.utilization = manager.utilization(self.oid)
                 windows.append(current)
                 current = WindowStats(ops_done=0)
         return windows

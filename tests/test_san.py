@@ -254,7 +254,7 @@ class TestPinLeakRegressions:
             def begin_op(self):
                 self.begun += 1
 
-            def end_op(self):
+            def end_op(self, defer_root=None):
                 self.ended += 1
 
         stub = StubTree()
