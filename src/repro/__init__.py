@@ -30,8 +30,10 @@ from repro.core.tuning import (
 from repro.disk.iomodel import IOStats
 from repro.eos.manager import EOSManager, EOSOptions
 from repro.esm.manager import ESMManager, ESMOptions
+from repro.exec.plan import MultiOp, multi_op
 from repro.records.schema import Field, FieldKind, Schema
 from repro.records.store import RecordId, RecordStore
+from repro.shard.router import ShardedStore
 from repro.starburst.manager import StarburstManager, StarburstOptions
 from repro.workload.trace import Trace, replay
 
@@ -54,12 +56,14 @@ __all__ = [
     "IOStats",
     "LargeObjectFile",
     "LargeObjectStore",
+    "MultiOp",
     "PAPER_CONFIG",
     "Payload",
     "RecordId",
     "RecordStore",
     "SCHEMES",
     "Schema",
+    "ShardedStore",
     "SizedPayload",
     "StarburstManager",
     "StarburstOptions",
@@ -68,6 +72,7 @@ __all__ = [
     "Trace",
     "fsck",
     "make_manager",
+    "multi_op",
     "recommend_eos_threshold_pages",
     "recommend_esm_leaf_pages",
     "replay",

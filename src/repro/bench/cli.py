@@ -8,6 +8,7 @@ Usage::
     repro-bench --check BENCH_2.json     # fail (>3x) against a baseline
     repro-bench --compare A.json B.json  # per-point deltas, no run
     repro-bench --profile                # cProfile summary per point
+    repro-bench --shards 4               # also time the grid 4-sharded
 
 The output number ``<n>`` defaults to one past the highest existing
 ``BENCH_*.json`` in the output directory (starting at 2, where the
@@ -97,15 +98,32 @@ def _format_points(points: list[BenchPoint]) -> str:
     return "\n".join(lines)
 
 
+def _point_fields(point: dict) -> "tuple[float, float] | None":
+    """(wall_s, sim_s) of one point record, or None if unusable."""
+    try:
+        return float(point["wall_s"]), float(point["sim_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> str:
     """Per-point wall/sim delta table between two bench documents.
 
-    Points present on only one side are listed with ``-`` placeholders.
+    Every point gets a status line: shared points get deltas, points
+    present on only one side say so, and points an older or hand-edited
+    document records without usable ``wall_s``/``sim_s`` fields are
+    reported as malformed rather than crashing the comparison.
     A simulated-time difference is called out explicitly: wall-clock may
     drift with the host, but ``sim_s`` moving means behaviour changed.
     """
-    by_name_a = {str(p["name"]): p for p in doc_a["points"]}
-    by_name_b = {str(p["name"]): p for p in doc_b["points"]}
+    points_a = doc_a.get("points") or []
+    points_b = doc_b.get("points") or []
+    by_name_a = {
+        str(p["name"]): p for p in points_a if p.get("name") is not None
+    }
+    by_name_b = {
+        str(p["name"]): p for p in points_b if p.get("name") is not None
+    }
     names = list(by_name_a)
     names.extend(n for n in by_name_b if n not in by_name_a)
     lines = [
@@ -114,6 +132,8 @@ def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> s
         f"{'point':<20} {'wall A':>9} {'wall B':>9} {'speedup':>8} "
         f"{'sim A':>10} {'sim B':>10}",
     ]
+    if not names:
+        lines.append("no named points on either side")
     ratios: list[float] = []
     for name in names:
         a, b = by_name_a.get(name), by_name_b.get(name)
@@ -121,8 +141,15 @@ def compare_documents(doc_a: dict, doc_b: dict, label_a: str, label_b: str) -> s
             side = "B" if a is None else "A"
             lines.append(f"{name:<20} {'only in ' + side}")
             continue
-        wall_a, wall_b = float(a["wall_s"]), float(b["wall_s"])
-        sim_a, sim_b = float(a["sim_s"]), float(b["sim_s"])
+        fields_a, fields_b = _point_fields(a), _point_fields(b)
+        if fields_a is None or fields_b is None:
+            side = "A" if fields_a is None else "B"
+            if fields_a is None and fields_b is None:
+                side = "A and B"
+            lines.append(f"{name:<20} malformed in {side} (skipped)")
+            continue
+        wall_a, sim_a = fields_a
+        wall_b, sim_b = fields_b
         if wall_b > 0:
             speedup = f"{wall_a / wall_b:>7.2f}x"
             if wall_a > 0:
@@ -247,6 +274,29 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        default=[],
+        metavar="N",
+        help=(
+            "additionally time the grid sharded N ways over the "
+            "repro.shard router (repeatable; point names gain @shardsN; "
+            "wall_s is the per-shard makespan, fanout_wall_s the real "
+            "elapsed fan-out time on this host)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help=(
+            "worker processes for --shards points (default: one per "
+            "shard, capped at the machine's core count)"
+        ),
+    )
+    parser.add_argument(
         "--spans",
         action="store_true",
         help=(
@@ -290,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
             repeat=args.repeat,
             only=only,
             traced=args.spans,
+            shard_counts=tuple(args.shards),
+            jobs=args.jobs,
         )
         print(f"scale: {scale_name}")
         print(_format_points(points))
@@ -323,7 +375,9 @@ def main(argv: list[str] | None = None) -> int:
                 "no names will match",
                 file=sys.stderr,
             )
-        failures = compare_points(document["points"], baseline["points"])
+        failures = compare_points(
+            document["points"], baseline.get("points") or []
+        )
         if failures:
             for line in failures:
                 print(f"REGRESSION: {line}", file=sys.stderr)

@@ -23,7 +23,8 @@ import time
 from typing import ContextManager
 
 from repro.core.api import LargeObjectStore
-from repro.core.config import SystemConfig
+from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.core.errors import InvalidArgumentError
 from repro.disk.iomodel import IOStats
 from repro.exec.plan import read_op
 from repro.experiments.common import (
@@ -36,6 +37,14 @@ from repro.experiments.common import (
 from repro.experiments.random_ops import WORKLOAD_SEED
 from repro.obs.runtime import installed
 from repro.obs.tracer import Tracer
+from repro.shard.parallel import merge_outcomes, run_shard_programs
+from repro.shard.program import (
+    BuildStep,
+    ScanStep,
+    ShardProgram,
+    Step,
+    WorkloadStep,
+)
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.runner import WorkloadRunner
 
@@ -78,6 +87,14 @@ class BenchPoint:
     ``repro-bench --spans`` (bench JSON format 3); it is dropped from the
     JSON entirely when the point was measured untraced, so format-2
     readers see unchanged documents.
+
+    Sharded points (``--shards N``) carry two extra fields, likewise
+    dropped when absent: ``shards`` (the shard count) and
+    ``fanout_wall_s``.  For those points ``wall_s`` is the *makespan* —
+    the slowest single shard's measured wall, i.e. the wall a host with
+    one core per shard achieves — while ``fanout_wall_s`` is the real
+    elapsed time of the fan-out on *this* host, including process-pool
+    overhead and any core contention.
     """
 
     name: str
@@ -87,12 +104,15 @@ class BenchPoint:
     pages: int
     pool_hit_rate: float
     spans: dict[str, object] | None = None
+    shards: int | None = None
+    fanout_wall_s: float | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready representation."""
         data = dataclasses.asdict(self)
-        if data["spans"] is None:
-            del data["spans"]
+        for optional in ("spans", "shards", "fanout_wall_s"):
+            if data[optional] is None:
+                del data[optional]
         return data
 
 
@@ -110,12 +130,30 @@ def _phase(tracer: Tracer | None, name: str) -> ContextManager[object]:
     return tracer.span(name)
 
 
+#: Top-level span kinds folded into the phase summary, by phase name.
+#: Sharded points produce one ``shard.setup``/``shard.measure`` pair per
+#: shard; they land in the same two phases as the single-store spans.
+_PHASE_KINDS = {
+    "bench.setup": "setup",
+    "bench.measure": "measure",
+    "shard.setup": "setup",
+    "shard.measure": "measure",
+}
+
+#: Wrapper op spans excluded from the ops breakdown: each wraps the
+#: per-op spans of a whole submitted batch, so folding them too would
+#: double-count their children.
+_WRAPPER_OPS = ("op.batch", "op.multi")
+
+
 def span_summary(tracer: Tracer, config: SystemConfig) -> dict[str, object]:
     """Fold a bench point's trace into the compact per-phase summary.
 
-    For each top-level ``bench.*`` phase span: total I/O calls, pages,
-    and exact simulated cost; the measured phase additionally breaks its
-    cost down by operation span kind.
+    For each phase (top-level ``bench.*`` span, or the per-shard
+    ``shard.*`` spans of a sharded point, accumulated additively across
+    shards): total I/O calls, pages, and exact simulated cost; the
+    measured phase additionally breaks its cost down by operation span
+    kind.
     """
     seek = config.seek_ms
     transfer = config.transfer_ms_per_page
@@ -124,44 +162,51 @@ def span_summary(tracer: Tracer, config: SystemConfig) -> dict[str, object]:
         return calls * seek + pages * transfer
 
     spans = [r for r in tracer.records if r["t"] == "span"]
-    phases: dict[str, object] = {}
+    phases: dict[str, dict[str, object]] = {}
+    measure_windows: list[tuple[int, int]] = []
     for record in spans:
-        kind = str(record["kind"])
-        if not kind.startswith("bench.") or record["parent"] is not None:
+        if record["parent"] is not None:
+            continue
+        name = _PHASE_KINDS.get(str(record["kind"]))
+        if name is None:
             continue
         calls = int(record["read_calls"]) + int(record["write_calls"])  # type: ignore[call-overload]
         pages = int(record["pages_read"]) + int(record["pages_written"])  # type: ignore[call-overload]
-        phase: dict[str, object] = {
-            "io_calls": calls,
-            "pages": pages,
-            "cost_ms": cost(calls, pages),
-        }
-        if kind == "bench.measure":
-            kinds: dict[str, dict[str, object]] = {}
-            lo, hi = int(record["seq0"]), int(record["seq1"])  # type: ignore[call-overload]
-            for child in spans:
-                ckind = str(child["kind"])
-                # op.batch wraps the per-op spans of a whole submitted
-                # batch; folding it too would double-count its children.
-                if not ckind.startswith("op.") or ckind == "op.batch":
-                    continue
-                if not lo <= int(child["seq0"]) <= hi:  # type: ignore[call-overload]
-                    continue
-                ccalls = int(child["read_calls"]) + int(child["write_calls"])  # type: ignore[call-overload]
-                cpages = int(child["pages_read"]) + int(child["pages_written"])  # type: ignore[call-overload]
-                entry = kinds.setdefault(
-                    ckind, {"count": 0, "io_calls": 0, "pages": 0}
-                )
-                entry["count"] += 1  # type: ignore[operator]
-                entry["io_calls"] += ccalls  # type: ignore[operator]
-                entry["pages"] += cpages  # type: ignore[operator]
-            for entry in kinds.values():
-                entry["cost_ms"] = cost(
-                    entry["io_calls"], entry["pages"]  # type: ignore[arg-type]
-                )
-            phase["ops"] = dict(sorted(kinds.items()))
-        phases[kind.removeprefix("bench.")] = phase
-    return phases
+        phase = phases.setdefault(
+            name, {"io_calls": 0, "pages": 0, "cost_ms": 0.0}
+        )
+        phase["io_calls"] += calls  # type: ignore[operator]
+        phase["pages"] += pages  # type: ignore[operator]
+        phase["cost_ms"] = cost(
+            phase["io_calls"], phase["pages"]  # type: ignore[arg-type]
+        )
+        if name == "measure":
+            measure_windows.append(
+                (int(record["seq0"]), int(record["seq1"]))  # type: ignore[call-overload]
+            )
+    if measure_windows:
+        kinds: dict[str, dict[str, object]] = {}
+        for child in spans:
+            ckind = str(child["kind"])
+            if not ckind.startswith("op.") or ckind in _WRAPPER_OPS:
+                continue
+            seq0 = int(child["seq0"])  # type: ignore[call-overload]
+            if not any(lo <= seq0 <= hi for lo, hi in measure_windows):
+                continue
+            ccalls = int(child["read_calls"]) + int(child["write_calls"])  # type: ignore[call-overload]
+            cpages = int(child["pages_read"]) + int(child["pages_written"])  # type: ignore[call-overload]
+            entry = kinds.setdefault(
+                ckind, {"count": 0, "io_calls": 0, "pages": 0}
+            )
+            entry["count"] += 1  # type: ignore[operator]
+            entry["io_calls"] += ccalls  # type: ignore[operator]
+            entry["pages"] += cpages  # type: ignore[operator]
+        for entry in kinds.values():
+            entry["cost_ms"] = cost(
+                entry["io_calls"], entry["pages"]  # type: ignore[arg-type]
+            )
+        phases["measure"]["ops"] = dict(sorted(kinds.items()))
+    return dict(phases)
 
 
 def _point(
@@ -282,11 +327,117 @@ _MEASURES = {
 }
 
 
+def split_even(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal pieces summing exactly.
+
+    The remainder goes to the lowest-indexed parts, so the split — and
+    every sharded workload derived from it — is deterministic.
+    """
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def shard_programs(
+    kind: str, scheme: str, scale: Scale, shards: int
+) -> list[ShardProgram]:
+    """The per-shard programs behind one sharded bench point.
+
+    The scale's workload is hash-partitioned the way a sharded
+    deployment would hold it: each shard owns a ``1/shards`` slice of
+    the object bytes (and, for random points, of the op stream, with a
+    per-shard workload seed), so the *total* work matches the unsharded
+    point's scale while each shard runs its slice independently.
+    """
+    chunk = CHUNK_KB * KB
+    if kind == "random":
+        total_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
+        op_split = split_even(total_ops, shards)
+    programs = []
+    for index, nbytes in enumerate(split_even(scale.object_bytes, shards)):
+        setup: tuple[Step, ...] = ()
+        if kind == "build":
+            measured: tuple[Step, ...] = (BuildStep(nbytes, chunk),)
+        elif kind == "scan":
+            setup = (BuildStep(nbytes, chunk),)
+            measured = (ScanStep(0, chunk),)
+        elif kind == "random":
+            setup = (BuildStep(nbytes, chunk),)
+            measured = (
+                WorkloadStep(
+                    obj=0,
+                    n_ops=op_split[index],
+                    mean_op_size=MEAN_OP_BYTES,
+                    seed=WORKLOAD_SEED + index,
+                    window=max(1, op_split[index]),
+                ),
+            )
+        else:
+            raise InvalidArgumentError(
+                f"unknown bench point kind {kind!r}"
+            )
+        programs.append(
+            ShardProgram(
+                shard_index=index,
+                shard_count=shards,
+                scheme=scheme,
+                setup=setup,
+                measured=measured,
+                leaf_pages=SETTING_PAGES,
+                threshold_pages=SETTING_PAGES,
+            )
+        )
+    return programs
+
+
+def measure_sharded(
+    kind: str,
+    scheme: str,
+    scale: Scale,
+    shards: int,
+    jobs: int | None = None,
+    traced: bool = False,
+) -> BenchPoint:
+    """Time one grid point sharded ``shards`` ways (``--shards N``).
+
+    ``wall_s`` is the makespan — the slowest shard's measured wall, the
+    figure a host with one core per shard achieves — and
+    ``fanout_wall_s`` the real elapsed time of the whole fan-out here
+    (setup replay and pool overhead included).  Simulated fields are
+    folded from the per-shard charge journals in shard order, so they
+    are identical whatever ``jobs`` is.
+    """
+    programs = shard_programs(kind, scheme, scale, shards)
+    tracer = (
+        Tracer(meta={"point": f"{kind}/{scheme}@shards{shards}"})
+        if traced
+        else None
+    )
+    start = time.perf_counter()
+    outcomes = run_shard_programs(programs, jobs=jobs, tracer=tracer)
+    fanout_wall = time.perf_counter() - start
+    merged = merge_outcomes(outcomes, PAPER_CONFIG)
+    return BenchPoint(
+        name=f"{kind}/{scheme}@shards{shards}",
+        wall_s=merged.wall_s,
+        sim_s=merged.sim_ms / 1000.0,
+        io_calls=merged.stats.io_calls,
+        pages=merged.stats.pages_transferred,
+        pool_hit_rate=merged.pool.hit_rate,
+        spans=(
+            span_summary(tracer, PAPER_CONFIG) if tracer is not None else None
+        ),
+        shards=shards,
+        fanout_wall_s=fanout_wall,
+    )
+
+
 def run_bench(
     scale: Scale,
     repeat: int = 1,
     only: "set[str] | None" = None,
     traced: bool = False,
+    shard_counts: "tuple[int, ...]" = (),
+    jobs: int | None = None,
 ) -> list[BenchPoint]:
     """Time the standard grid; with ``repeat > 1`` keep each point's
     fastest run (wall-clock noise shrinks, simulated fields are identical
@@ -297,7 +448,11 @@ def run_bench(
     passes stay untraced, so ``wall_s`` remains comparable against
     untraced baselines, and the traced pass replays the same
     deterministic workload, so the summary describes exactly the run
-    that was timed."""
+    that was timed.
+
+    ``shard_counts`` additionally times the grid sharded N ways for each
+    listed N (``--shards N``, names ``kind/scheme@shardsN``), fanned
+    across up to ``jobs`` worker processes per point."""
     points: list[BenchPoint] = []
     for kind, scheme in STANDARD_GRID:
         if only is not None and f"{kind}/{scheme}" not in only:
@@ -312,6 +467,23 @@ def run_bench(
         if traced:
             best.spans = measure(scheme, scale, traced=True).spans
         points.append(best)
+    for shards in shard_counts:
+        for kind, scheme in STANDARD_GRID:
+            if only is not None and f"{kind}/{scheme}" not in only:
+                continue
+            best = None
+            for _ in range(max(1, repeat)):
+                candidate = measure_sharded(
+                    kind, scheme, scale, shards, jobs=jobs
+                )
+                if best is None or candidate.wall_s < best.wall_s:
+                    best = candidate
+            assert best is not None
+            if traced:
+                best.spans = measure_sharded(
+                    kind, scheme, scale, shards, jobs=jobs, traced=True
+                ).spans
+            points.append(best)
     return points
 
 
@@ -324,18 +496,26 @@ def compare_points(
 
     Returns human-readable failure lines (empty means the gate passes).
     Points present on only one side do not fail the gate (so adding or
-    retiring bench points does not break CI), and points whose baseline
-    is faster than :data:`MIN_GATE_WALL_S` are exempt — they are noise.
+    retiring bench points does not break CI), points either side records
+    without a usable ``wall_s`` are skipped (an older or hand-edited
+    baseline must degrade the comparison, not crash it), and points
+    whose baseline is faster than :data:`MIN_GATE_WALL_S` are exempt —
+    they are noise.
     """
     failures: list[str] = []
-    base_by_name = {str(p["name"]): p for p in baseline}
+    base_by_name = {
+        str(p["name"]): p for p in baseline if p.get("name") is not None
+    }
     for point in current:
-        name = str(point["name"])
+        name = str(point.get("name", "<unnamed>"))
         base = base_by_name.get(name)
         if base is None:
             continue
-        wall = float(point["wall_s"])  # type: ignore[arg-type]
-        base_wall = float(base["wall_s"])  # type: ignore[arg-type]
+        try:
+            wall = float(point["wall_s"])  # type: ignore[arg-type]
+            base_wall = float(base["wall_s"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            continue
         if base_wall >= MIN_GATE_WALL_S and wall > factor * base_wall:
             failures.append(
                 f"{name}: {wall:.3f}s is more than {factor:g}x the "

@@ -154,29 +154,55 @@ class BuddySpace:
         free_sets = self._free_sets
         extents = free_sets[j]
         offset = extents.pop()
+        # Micro-batched index maintenance: the whole split cascade edits
+        # a local mask and stores it once at the end.
+        mask = self._order_mask
         if not extents:
-            self._order_mask &= ~(1 << j)
-        mask = 0
+            mask &= ~(1 << j)
         while j > k:
             j -= 1
             # Split: keep the left half, free the right half.
             free_sets[j].add(offset + (1 << j))
             mask |= 1 << j
-        if mask:
-            self._order_mask |= mask
+        self._order_mask = mask
         return offset
 
     def _release_range(self, offset: int, n_blocks: int) -> None:
         """Return an arbitrary range to the free lists as aligned extents.
 
-        ``_free_blocks`` must already reflect the range being free.
+        ``_free_blocks`` must already reflect the range being free.  The
+        coalescing cascades of the whole range are micro-batched: every
+        extent's cascade edits one local copy of the order mask and the
+        result is stored back in a single write, instead of a mask
+        load/store per coalescing level (the batch-free hot path inside
+        a shard frees whole runs of leaf segments at once).
         """
+        free_sets = self._free_sets
+        order = self.order
+        mask = self._order_mask
         while n_blocks > 0:
-            align = (offset & -offset).bit_length() - 1 if offset else self.order
+            align = (offset & -offset).bit_length() - 1 if offset else order
             k = min(align, n_blocks.bit_length() - 1)
-            self._insert_free(offset, k)
-            offset += 1 << k
-            n_blocks -= 1 << k
+            step = 1 << k
+            start = offset
+            # Inlined coalescing cascade (see _insert_free) against the
+            # local mask.
+            while k < order:
+                buddy = start ^ (1 << k)
+                extents = free_sets[k]
+                if buddy not in extents:
+                    break
+                extents.discard(buddy)
+                if not extents:
+                    mask &= ~(1 << k)
+                if buddy < start:
+                    start = buddy
+                k += 1
+            free_sets[k].add(start)
+            mask |= 1 << k
+            offset += step
+            n_blocks -= step
+        self._order_mask = mask
 
     def _insert_free(self, offset: int, k: int) -> None:
         """Insert a free extent of order ``k``, coalescing with buddies.
@@ -184,9 +210,12 @@ class BuddySpace:
         ``_free_discard`` / ``_free_add`` are inlined: coalescing cascades
         through every order on the single-block free/reallocate churn of
         shadow relocation, so the per-level method calls are measurable.
+        The order mask is maintained the same way — one local copy edited
+        through the cascade, one store at the end.
         """
         free_sets = self._free_sets
         order = self.order
+        mask = self._order_mask
         while k < order:
             buddy = offset ^ (1 << k)
             extents = free_sets[k]
@@ -194,12 +223,12 @@ class BuddySpace:
                 break
             extents.discard(buddy)
             if not extents:
-                self._order_mask &= ~(1 << k)
+                mask &= ~(1 << k)
             if buddy < offset:
                 offset = buddy
             k += 1
         free_sets[k].add(offset)
-        self._order_mask |= 1 << k
+        self._order_mask = mask | (1 << k)
 
     def _free_add(self, k: int, offset: int) -> None:
         """Add a free extent, keeping the order index in sync."""

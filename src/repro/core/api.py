@@ -27,7 +27,7 @@ from repro.core.manager import LargeObjectManager
 from repro.core.payload import Payload
 from repro.disk.iomodel import IOStats
 from repro.exec.engine import BatchResult
-from repro.exec.plan import BatchOp
+from repro.exec.plan import BatchOp, MultiOp
 from repro.eos.manager import EOSManager, EOSOptions
 from repro.esm.manager import ESMManager, ESMOptions
 from repro.recovery.shadow import DEFAULT_SHADOW, NO_SHADOW
@@ -170,6 +170,12 @@ class LargeObjectStore:
         engine (:mod:`repro.exec`): group commit, one-pass accounting,
         bit-identical counters versus per-op submission."""
         return self.manager.submit_ops(oid, ops)
+
+    def submit_multi(self, mops: "Sequence[MultiOp]") -> "BatchResult":
+        """Execute a multi-object op batch (each op names its own oid)
+        under one batch lifecycle; see
+        :meth:`~repro.core.manager.LargeObjectManager.submit_multi`."""
+        return self.manager.submit_multi(mops)
 
     def utilization(self, oid: int) -> float:
         """Storage utilization including index pages (Section 4.4.1)."""

@@ -17,7 +17,7 @@ from repro.core.env import StorageEnvironment
 from repro.core.errors import ByteRangeError, ObjectNotFoundError
 from repro.core.payload import Payload
 from repro.exec.engine import BatchResult
-from repro.exec.plan import BatchOp
+from repro.exec.plan import BatchOp, MultiOp
 from repro.lint.contracts import SAN_PROBE, sanitizer_enabled
 
 #: Shared no-op context returned by :meth:`LargeObjectManager._op_span`
@@ -143,6 +143,18 @@ class LargeObjectManager(abc.ABC):
         """
         with self._op_span("batch", oid):
             return self.env.exec.run_batch(self, oid, ops)
+
+    def submit_multi(self, mops: Sequence[MultiOp]) -> BatchResult:
+        """Execute a batch of operations spanning several objects.
+
+        Same contract as :meth:`submit_ops`, but each op names its own
+        object: one batch lifecycle covers the whole sequence, so root
+        pokes and descriptor flushes are deduplicated across objects and
+        the accounting folds in one pass.  Ops run in submission order;
+        results and costs line up index-for-index with ``mops``.
+        """
+        with self._op_span("multi"):
+            return self.env.exec.run_multi(self, mops)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -143,6 +143,17 @@ class CostModel:
         """Stop journaling; the caller owns folding the log's charges."""
         self._log = None
 
+    @property
+    def installed_log(self) -> "ChargeLog | None":
+        """The charge journal currently diverting charges, if any.
+
+        The batch engine consults this so a batch opened *inside* an
+        outer journaled phase (a sharded measure phase journals a whole
+        shard's batches into one log) reuses the outer log for its per-op
+        marks instead of trying to install a second one.
+        """
+        return self._log
+
     def charge_read(self, n_pages: int) -> None:
         """Charge one physical read call transferring ``n_pages`` pages."""
         if n_pages <= 0:

@@ -37,10 +37,12 @@ from repro.exec.plan import (
     BatchOp,
     IOPlan,
     LeafWrite,
+    MultiOp,
     ReadRun,
     append_op,
     delete_op,
     insert_op,
+    multi_op,
     read_op,
     replace_op,
 )
@@ -54,7 +56,9 @@ __all__ = [
     "UNCHARGED",
     "IOPlan",
     "LeafWrite",
+    "MultiOp",
     "ReadRun",
+    "multi_op",
     "read_op",
     "append_op",
     "insert_op",

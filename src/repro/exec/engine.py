@@ -53,6 +53,7 @@ from repro.exec.plan import (
     REPLACE,
     BatchOp,
     IOPlan,
+    MultiOp,
 )
 
 if TYPE_CHECKING:
@@ -107,6 +108,7 @@ class BatchEngine:
         #: whether flush intents go to the engine or run inline.
         self.active = False
         self._log: ChargeLog | None = None
+        self._owns_log = False
         self._pending_roots: dict[int, RootHost] = {}
         self._pending_descriptors: dict[
             int, tuple[DescriptorHost, DescriptorPage]
@@ -186,8 +188,16 @@ class BatchEngine:
         env = self.env
         self.active = True
         if env.tracer is None:
-            self._log = ChargeLog()
-            env.cost.install_log(self._log)
+            outer = env.cost.installed_log
+            if outer is None:
+                self._log = ChargeLog()
+                self._owns_log = True
+                env.cost.install_log(self._log)
+            else:
+                # An enclosing journaled phase (a sharded measure phase)
+                # already diverts charges; reuse its log for the per-op
+                # marks and leave folding to whoever installed it.
+                self._log = outer
         if env.disk.fault_site is not None:
             self._frees_deferred = True
             env.areas.meta.free_sink = self._defer_free
@@ -220,12 +230,15 @@ class BatchEngine:
         for allocator, page_id, n_pages in frees:
             allocator.free(page_id, n_pages)
         self._deferred_frees = []
-        # 3. Fold the charge journal into the ledger in one pass.
+        # 3. Fold the charge journal into the ledger in one pass (only
+        #    when this batch installed it; an outer phase log is folded
+        #    by its owner).
         log = self._log
-        if log is not None:
+        if log is not None and self._owns_log:
             env.cost.clear_log()
             log.commit_to(env.cost.stats)
-            self._log = None
+        self._log = None
+        self._owns_log = False
         self.active = False
 
     def _abort(self) -> None:
@@ -243,10 +256,11 @@ class BatchEngine:
         self._deferred_frees = []
         self._uninstall_free_sinks()
         log = self._log
-        if log is not None:
+        if log is not None and self._owns_log:
             self.env.cost.clear_log()
             log.commit_to(self.env.cost.stats)
-            self._log = None
+        self._log = None
+        self._owns_log = False
         self.active = False
 
     def _uninstall_free_sinks(self) -> None:
@@ -306,6 +320,83 @@ class BatchEngine:
         with tracer.span("exec.batch", ops=len(ops), scheme=manager.scheme):
             with self.batch():
                 return self._dispatch(manager, oid, ops)
+
+    def run_multi(
+        self,
+        manager: "LargeObjectManager",
+        mops: Sequence[MultiOp],
+    ) -> BatchResult:
+        """Execute a multi-object batch against one manager.
+
+        One batch lifecycle covers every (oid, op) pair: group commit
+        dedups root pokes and descriptor flushes *across* the batch's
+        objects, and the charge journal spans the whole run.  The ops
+        execute in submission order; per-op results and costs line up
+        index-for-index with ``mops``, exactly as ``run_batch`` does for
+        a single object.
+        """
+        for mop in mops:
+            if mop.op.kind not in OP_KINDS:
+                raise InvalidArgumentError(
+                    f"unknown batch op kind {mop.op.kind!r}; "
+                    f"expected one of {sorted(OP_KINDS)}"
+                )
+        tracer = self.env.tracer
+        if tracer is None:
+            with self.batch():
+                return self._dispatch_multi(manager, mops)
+        objects = len({mop.oid for mop in mops})
+        with tracer.span(
+            "exec.multi",
+            ops=len(mops),
+            objects=objects,
+            scheme=manager.scheme,
+        ):
+            with self.batch():
+                return self._dispatch_multi(manager, mops)
+
+    def _dispatch_multi(
+        self,
+        manager: "LargeObjectManager",
+        mops: Sequence[MultiOp],
+    ) -> BatchResult:
+        # Mirrors _dispatch below with a per-op oid; kept as its own loop
+        # so the single-object hot path allocates no (oid, op) pairs.
+        results: list["Payload | None"] = []
+        costs: list[float] = []
+        cost = self.env.cost
+        config = self.env.config
+        seek = config.seek_ms
+        transfer = config.transfer_ms_per_page
+        log = self._log
+        for oid, op in mops:
+            kind = op.kind
+            if log is not None:
+                lo = log.mark()
+            else:
+                before = cost.snapshot()
+            if kind == READ:
+                results.append(manager.read(oid, op.offset, op.nbytes))
+            elif kind == INSERT:
+                manager.insert(oid, op.offset, op.data)
+                results.append(None)
+            elif kind == DELETE:
+                manager.delete(oid, op.offset, op.nbytes)
+                results.append(None)
+            elif kind == APPEND:
+                manager.append(oid, op.data)
+                results.append(None)
+            else:  # REPLACE (kinds were validated up front)
+                assert kind == REPLACE
+                manager.replace(oid, op.offset, op.data)
+                results.append(None)
+            if log is not None:
+                costs.append(
+                    log.cost_ms_between(lo, log.mark(), seek, transfer)
+                )
+            else:
+                costs.append(cost.elapsed_since(before))
+        return BatchResult(tuple(results), tuple(costs))
 
     def _dispatch(
         self,

@@ -93,6 +93,23 @@ class BatchOp(NamedTuple):
     data: Payload = b""
 
 
+class MultiOp(NamedTuple):
+    """One (object id, operation) pair of a multi-object batch.
+
+    ``submit_multi`` executes a heterogeneous sequence of these against
+    one manager under a single batch lifecycle; the sharded store's
+    router splits a mixed-shard sequence into per-shard runs of them.
+    """
+
+    oid: int
+    op: BatchOp
+
+
+def multi_op(oid: int, op: BatchOp) -> MultiOp:
+    """Bind a batch op to the object it targets."""
+    return MultiOp(oid, op)
+
+
 def read_op(offset: int, nbytes: int) -> BatchOp:
     """A batched read of ``nbytes`` at ``offset``."""
     return BatchOp(READ, offset=offset, nbytes=nbytes)

@@ -33,7 +33,9 @@ from repro.experiments.common import (
 from repro.experiments.summary import matched_setting
 
 #: The kinds of work a grid point can denote.
-POINT_KINDS = ("random-ops", "build", "scan", "scaling", "summary-scan")
+POINT_KINDS = (
+    "random-ops", "build", "scan", "scaling", "summary-scan", "shard",
+)
 
 #: Mean operation size used by the Section 4.6 summary table.
 SUMMARY_MEAN_OP = 10 * KB
@@ -126,6 +128,22 @@ def _scaling_points(scale: Scale) -> list[GridPoint]:
     ]
 
 
+def _shard_points(scale: Scale) -> list[GridPoint]:
+    """The shard-count sweep (``setting`` carries the shard count)."""
+    from repro.experiments.shard_scaling import SHARD_COUNTS
+
+    return [
+        GridPoint(
+            kind="shard",
+            scheme=scheme,
+            scale_name=scale.name,
+            setting=shards,
+        )
+        for scheme in ("esm", "starburst", "eos")
+        for shards in SHARD_COUNTS
+    ]
+
+
 def _summary_points(scale: Scale) -> list[GridPoint]:
     """Random-update runs plus full-object scans of the summary table."""
     matched = matched_setting(SUMMARY_MEAN_OP)
@@ -169,6 +187,7 @@ GRID_BUILDERS: dict[str, Callable[[Scale], list[GridPoint]]] = {
     "fig9-10": _random_update_points,
     "fig11-12": _random_update_points,
     "scaling": _scaling_points,
+    "shards": _shard_points,
     "summary": _summary_points,
 }
 

@@ -46,6 +46,7 @@ from repro.experiments import (
     fig6_scan,
     random_ops,
     scaling,
+    shard_scaling,
     summary,
 )
 from repro.experiments.common import Scale, resolve_scale
@@ -81,6 +82,10 @@ def compute_point(point: GridPoint) -> Any:
         )
     if point.kind == "scaling":
         return scaling.compute_scaling(point.scheme, scale, point.config)
+    if point.kind == "shard":
+        return shard_scaling.compute_shard_point(
+            point.scheme, point.setting, scale, point.config
+        )
     if point.kind == "summary-scan":
         return summary.compute_scan_seconds(
             point.scheme, point.setting, scale, point.config
@@ -167,17 +172,22 @@ class DegradationLog:
         return "\n".join(lines)
 
 
-def _point_label(point: GridPoint) -> str:
+def _point_label(point: Any) -> str:
+    # Anything with a .label (e.g. repro.shard programs) self-describes;
+    # grid points keep their kind:scheme@scale rendering.
+    label = getattr(point, "label", None)
+    if label is not None:
+        return str(label)
     return f"{point.kind}:{point.scheme}@{point.scale_name}"
 
 
 def run_grid(
-    points: Sequence[GridPoint],
+    points: Sequence[Any],
     jobs: int = 1,
     *,
     retries: int = DEFAULT_RETRIES,
     timeout_s: float | None = None,
-    compute: Callable[[GridPoint], Any] = compute_point,
+    compute: Callable[[Any], Any] = compute_point,
     log: DegradationLog | None = None,
 ) -> list[Any]:
     """Compute every grid point, returning results in point order.
@@ -299,6 +309,10 @@ def prime_results(
                 point.scheme, scale, point.config,
                 scaling.DEFAULT_STEPS, scaling.DEFAULT_INSERT_BYTES, result,
             )
+        elif point.kind == "shard":
+            shard_scaling.prime(
+                point.scheme, point.setting, scale, point.config, result
+            )
         elif point.kind == "summary-scan":
             summary.prime_scan(
                 point.scheme, point.setting, scale, point.config, result
@@ -360,4 +374,5 @@ def clear_caches() -> None:
     fig5_build.clear_cache()
     fig6_scan.clear_cache()
     scaling.clear_cache()
+    shard_scaling.clear_cache()
     summary.clear_cache()

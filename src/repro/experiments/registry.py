@@ -12,6 +12,7 @@ from repro.experiments import (
     fig9_10_read,
     fig11_12_insert,
     scaling,
+    shard_scaling,
     summary,
     tables,
 )
@@ -32,6 +33,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "fig9-10": fig9_10_read.main,
     "fig11-12": fig11_12_insert.main,
     "scaling": scaling.main,
+    "shards": shard_scaling.main,
     "summary": summary.main,
 }
 

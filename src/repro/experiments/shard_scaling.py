@@ -1,0 +1,201 @@
+"""Shard-count scaling: simulated makespan of hash-partitioned stores.
+
+The paper measures each storage structure on one simulated disk.  The
+sharded store (:mod:`repro.shard`) hash-partitions the same workload
+over N independent shards — N disks, N buffer pools, N buddy areas —
+so the natural scaling question is *simulated makespan*: with one
+device per shard running concurrently, the elapsed I/O time is the
+slowest shard's simulated time, while the total device work stays the
+sum.  This experiment sweeps the shard count for each scheme and
+reports makespan speedup and its efficiency against the one-shard run.
+
+The metric is purely simulated (no wall clocks), so the report is
+deterministic and safe to pin in tests; the per-shard replays reuse the
+exact program machinery the parallel bench path executes, with the
+workload split evenly across shards and a per-shard seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.core.config import PAPER_CONFIG, SystemConfig
+from repro.experiments.common import KB, Scale, resolve_scale
+from repro.experiments.random_ops import WORKLOAD_SEED
+from repro.shard.program import (
+    BuildStep,
+    ShardProgram,
+    WorkloadStep,
+    execute_program,
+)
+
+#: Shard counts swept per scheme.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Random-update mean operation size (the summary table's 10K bytes).
+MEAN_OP_BYTES = 10 * KB
+
+#: Append chunk used to build each shard's slice.
+CHUNK_BYTES = 64 * KB
+
+
+@dataclasses.dataclass
+class ShardPointResult:
+    """Simulated outcome of one (scheme, shard count) sweep point."""
+
+    scheme: str
+    shards: int
+    #: Max per-shard simulated ms — elapsed time with one device/shard.
+    makespan_sim_ms: float
+    #: Summed simulated ms — total device work across all shards.
+    total_sim_ms: float
+    io_calls: int
+    pages: int
+
+
+#: Memoized sweep points; an explicit dict so the parallel runner can
+#: prime it (see :mod:`repro.experiments.parallel`).
+_CACHE: dict[tuple[str, int, Scale, SystemConfig], ShardPointResult] = {}
+
+
+def _split_even(total: int, parts: int) -> list[int]:
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def compute_shard_point(
+    scheme: str,
+    shards: int,
+    scale: Scale,
+    config: SystemConfig = PAPER_CONFIG,
+) -> ShardPointResult:
+    """Replay one scheme's workload split over ``shards`` shards.
+
+    Pure function of its arguments (runs inside grid workers): each
+    shard builds its slice of the object bytes, then runs its slice of
+    the random-update mix with a per-shard seed; only the measured
+    (post-build) phase is reported, matching the unsharded random
+    points.
+    """
+    total_ops = scale.starburst_ops if scheme == "starburst" else scale.n_ops
+    op_split = _split_even(total_ops, shards)
+    byte_split = _split_even(scale.object_bytes, shards)
+    sims: list[float] = []
+    io_calls = 0
+    pages = 0
+    for index in range(shards):
+        outcome = execute_program(
+            ShardProgram(
+                shard_index=index,
+                shard_count=shards,
+                scheme=scheme,
+                setup=(BuildStep(byte_split[index], CHUNK_BYTES),),
+                measured=(
+                    WorkloadStep(
+                        obj=0,
+                        n_ops=op_split[index],
+                        mean_op_size=MEAN_OP_BYTES,
+                        seed=WORKLOAD_SEED + index,
+                        window=max(1, op_split[index]),
+                    ),
+                ),
+                config=config,
+            )
+        )
+        sims.append(outcome.sim_ms)
+        io_calls += outcome.stats.io_calls
+        pages += outcome.stats.pages_transferred
+    return ShardPointResult(
+        scheme=scheme,
+        shards=shards,
+        makespan_sim_ms=max(sims),
+        total_sim_ms=sum(sims),
+        io_calls=io_calls,
+        pages=pages,
+    )
+
+
+def run_shard_point(
+    scheme: str,
+    shards: int,
+    scale: Scale | None = None,
+    config: SystemConfig = PAPER_CONFIG,
+) -> ShardPointResult:
+    """Run (or fetch the memoized) sweep point."""
+    scale = scale or resolve_scale()
+    key = (scheme, shards, scale, config)
+    cached = _CACHE.get(key)
+    if cached is None:
+        cached = compute_shard_point(scheme, shards, scale, config)
+        _CACHE[key] = cached
+    return cached
+
+
+def prime(
+    scheme: str,
+    shards: int,
+    scale: Scale,
+    config: SystemConfig,
+    result: ShardPointResult,
+) -> None:
+    """Insert a precomputed sweep point (parallel runner hook)."""
+    _CACHE.setdefault((scheme, shards, scale, config), result)
+
+
+def clear_cache() -> None:
+    """Drop memoized sweep points."""
+    _CACHE.clear()
+
+
+def format_shard_scaling(
+    results_by_scheme: dict[str, list[ShardPointResult]],
+) -> str:
+    """Render the shard sweep with makespan speedups per scheme."""
+    rows = []
+    for scheme, results in results_by_scheme.items():
+        base = results[0].makespan_sim_ms
+        for result in results:
+            speedup = base / result.makespan_sim_ms if result.makespan_sim_ms else 0.0
+            rows.append(
+                (
+                    scheme,
+                    str(result.shards),
+                    f"{result.makespan_sim_ms / 1000.0:.2f}",
+                    f"{speedup:.2f}x",
+                    f"{speedup / result.shards:.0%}",
+                    f"{result.total_sim_ms / 1000.0:.2f}",
+                    str(result.io_calls),
+                )
+            )
+    return (
+        "Shard-count scaling (simulated; makespan = slowest shard, one "
+        "device per shard)\n"
+        + format_table(
+            (
+                "scheme",
+                "shards",
+                "makespan s",
+                "speedup",
+                "efficiency",
+                "total s",
+                "io calls",
+            ),
+            rows,
+        )
+        + "\nspeedup is vs the same scheme at 1 shard; efficiency = "
+        "speedup / shards"
+    )
+
+
+def main() -> str:
+    """Run and render the shard scaling experiment (used by the CLI)."""
+    results = {
+        scheme: [run_shard_point(scheme, n) for n in SHARD_COUNTS]
+        for scheme in ("esm", "starburst", "eos")
+    }
+    return format_shard_scaling(results)
+
+
+if __name__ == "__main__":
+    print(main())

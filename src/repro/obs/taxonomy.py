@@ -29,19 +29,28 @@ OP_SPAN_KINDS: frozenset[str] = frozenset({
     "op.delete",
     "op.replace",
     "op.batch",
+    "op.multi",
 })
 
 #: Interior spans: segment I/O, tree maintenance, batch execution,
-#: bench phases.  ``exec.batch`` wraps the engine's dispatch of one
-#: submitted batch (between ``op.batch`` and the per-op spans).
+#: bench phases, and sharded execution.  ``exec.batch`` wraps the
+#: engine's dispatch of one submitted batch (between ``op.batch`` and
+#: the per-op spans); ``exec.multi`` is its multi-object counterpart.
+#: ``shard.batch`` wraps the router's multi-shard batch split, and
+#: ``shard.setup`` / ``shard.measure`` are the per-shard phases of a
+#: replayed shard program (the sharded analogue of ``bench.*``).
 INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
     "segio.read",
     "segio.read_unaligned",
     "segio.write",
     "tree.flush",
     "exec.batch",
+    "exec.multi",
     "bench.setup",
     "bench.measure",
+    "shard.batch",
+    "shard.setup",
+    "shard.measure",
 })
 
 #: Every legal ``tracer.span(...)`` kind.

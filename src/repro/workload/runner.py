@@ -17,8 +17,32 @@ from repro.exec.plan import BatchOp
 from repro.exec.plan import DELETE as B_DELETE
 from repro.exec.plan import INSERT as B_INSERT
 from repro.exec.plan import READ as B_READ
-from repro.workload.generator import DELETE, INSERT, READ, WorkloadGenerator
+from repro.workload.generator import (
+    DELETE,
+    INSERT,
+    READ,
+    Operation,
+    WorkloadGenerator,
+)
 from repro.core.errors import InvalidArgumentError
+
+
+def as_batch_op(op: Operation) -> BatchOp:
+    """Convert one generated workload operation to a batch-plan op.
+
+    Insert payloads are length-only :class:`SizedPayload` values — the
+    content is irrelevant to cost, so no bytes are materialized.  Used by
+    :meth:`WorkloadRunner.run_batched` and the sharded workload runner
+    (:mod:`repro.shard.runner`), which must produce *identical* batch ops
+    for the same generated stream.
+    """
+    if op.kind == READ:
+        return BatchOp(B_READ, op.offset, op.nbytes)
+    if op.kind == INSERT:
+        return BatchOp(B_INSERT, op.offset, data=SizedPayload(op.nbytes))
+    if op.kind == DELETE:
+        return BatchOp(B_DELETE, op.offset, op.nbytes)
+    raise InvalidArgumentError(f"unknown workload op kind {op.kind!r}")
 
 
 @dataclasses.dataclass
@@ -139,14 +163,7 @@ class WorkloadRunner:
         index = 0
         for op in self.generator.operations(n_ops):
             index += 1
-            if op.kind == READ:
-                pending.append(BatchOp(B_READ, op.offset, op.nbytes))
-            elif op.kind == INSERT:
-                pending.append(
-                    BatchOp(B_INSERT, op.offset, data=self._bytes(op.nbytes))
-                )
-            elif op.kind == DELETE:
-                pending.append(BatchOp(B_DELETE, op.offset, op.nbytes))
+            pending.append(as_batch_op(op))
             if index % window == 0 or index == n_ops:
                 result = manager.submit_ops(self.oid, pending)
                 for bop, cost in zip(pending, result.op_costs_ms):

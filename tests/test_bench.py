@@ -76,6 +76,26 @@ class TestCompare:
         current = [self._dict("brand/new", 99.0)]
         assert compare_points(current, baseline) == []
 
+    def test_malformed_baseline_points_are_skipped_not_raised(self):
+        baseline = [
+            {"name": "random/esm"},  # wall_s missing entirely
+            {"name": "scan/esm", "wall_s": "fast"},  # not a number
+            {"wall_s": 0.1},  # unnamed
+            self._dict("build/esm", 0.1),
+        ]
+        current = [
+            self._dict("random/esm", 99.0),
+            self._dict("scan/esm", 99.0),
+            self._dict("build/esm", 0.2),
+        ]
+        # Only the well-formed pair is gated; the rest degrade silently.
+        assert compare_points(current, baseline) == []
+
+    def test_malformed_current_point_is_skipped(self):
+        baseline = [self._dict("random/esm", 0.1)]
+        current = [{"name": "random/esm", "wall_s": None}]
+        assert compare_points(current, baseline) == []
+
 
 class TestNumbering:
     def test_first_bench_number(self, tmp_path):
@@ -129,7 +149,7 @@ class TestCLI:
         )
         monkeypatch.setattr(
             bench_cli, "run_bench",
-            lambda scale, repeat=1, only=None, traced=False: [slow],
+            lambda scale, repeat=1, only=None, traced=False, **kwargs: [slow],
         )
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({
@@ -190,6 +210,35 @@ class TestCompareMode:
         assert "2.00x" in out
         assert "only in A" in out
         assert "only in B" in out
+
+    def test_compare_reports_malformed_points_instead_of_raising(
+        self, tmp_path, capsys
+    ):
+        """An older or hand-edited baseline degrades to per-point status
+        lines; it must never crash the comparison (satellite of the
+        sharding PR: BENCH files now span formats)."""
+        a = tmp_path / "A.json"
+        b = tmp_path / "B.json"
+        a.write_text(json.dumps(self._doc("tiny", [
+            self._point("build/esm", 0.1),
+            {"name": "scan/esm"},  # missing wall_s/sim_s
+        ])))
+        b.write_text(json.dumps(self._doc("tiny", [
+            self._point("build/esm", 0.1),
+            self._point("scan/esm", 0.1),
+        ])))
+        assert bench_cli.main(["--compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "malformed in A (skipped)" in out
+        assert "build/esm" in out
+
+    def test_compare_handles_documents_without_points(self, tmp_path, capsys):
+        a = tmp_path / "A.json"
+        b = tmp_path / "B.json"
+        a.write_text(json.dumps({"version": 1, "bench": 2, "scale": "tiny"}))
+        b.write_text(json.dumps(self._doc("tiny", [])))
+        assert bench_cli.main(["--compare", str(a), str(b)]) == 0
+        assert "no named points" in capsys.readouterr().out
 
     def test_compare_flags_sim_changes(self, tmp_path, capsys):
         a = tmp_path / "A.json"
