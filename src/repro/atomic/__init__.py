@@ -1,0 +1,54 @@
+"""Cross-shard atomic batches: intent journal + two-phase commit.
+
+PR 8's sharded store guarantees only *containment* on crash: the victim
+shard rebuilds to its batch-start or batch-end state while sibling
+shards keep whatever they committed, so a ``submit_many`` spanning
+shards can be left half-applied.  This package closes that gap with the
+classic write-ahead-intent / two-phase-commit construction, expressed
+entirely in terms of the repo's existing primitives:
+
+* :mod:`repro.atomic.journal` — a small reserved region of each shard's
+  meta area holding checksummed, CRC-framed intent records (PREPARE,
+  DECISION, APPLIED, CLEAN).  Journal writes are charged physical I/O
+  like any other page write, so they are visible to the cost model, the
+  fault injector, and the crash sweep.
+
+* :mod:`repro.atomic.twophase` — the coordinator.  Phase 1 journals a
+  PREPARE record per shard and executes the shard's sub-batch with the
+  batch engine's *held-commit* mode (root pokes, descriptor flushes,
+  and frees are held past the batch boundary).  A single-page DECISION
+  record on the lowest participating shard is the global commit point.
+  Phase 2 writes an APPLIED marker per shard and then releases the held
+  commit (uncharged pokes first, charged frees after).
+
+* :mod:`repro.recovery.atomic` — image-only recovery: classifies each
+  shard's journal, reloads live objects from committed on-disk roots,
+  replays journaled ops for decided batches, rolls back undecided ones,
+  and reconciles space accounting.
+
+``ShardedStore(atomic=True)`` turns the protocol on; the default
+(``atomic=False``) keeps every code path — costs, counters, disk images
+— bit-identical to the journal-less store.
+"""
+
+from repro.atomic.journal import (
+    APPLIED,
+    CLEAN,
+    DECISION,
+    PREPARE,
+    IntentJournal,
+    JournalRecord,
+    JournalState,
+)
+from repro.atomic.twophase import AtomicCoordinator
+
+__all__ = [
+    "APPLIED",
+    "CLEAN",
+    "DECISION",
+    "PREPARE",
+    "AtomicCoordinator",
+    "IntentJournal",
+    "JournalRecord",
+    "JournalState",
+]

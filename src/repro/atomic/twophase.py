@@ -1,0 +1,149 @@
+"""Two-phase commit over the sharded store's independent shards.
+
+The protocol, in charged-write order (every numbered step is physical
+I/O the fault injector can interrupt; the bracketed steps are uncharged
+image pokes that cannot crash):
+
+Phase 1 — prepare, shards ascending:
+  1. journal a PREPARE record on the shard (batch id, participants,
+     the shard's ops) — one multi-page write, torn-able, CRC-framed;
+  2. execute the shard's sub-batch under the engine's *hold* mode:
+     charged tree/segment writes happen now, against shadow pages, but
+     root pokes, descriptor flushes, and frees are captured, not run.
+
+Decision:
+  3. journal a single-page DECISION record on the coordinator (the
+     lowest participating shard).  This atomic write is the global
+     commit point: before it, every shard's committed image is still
+     the batch-start state; at or after it, recovery drives every
+     shard to the batch-end state.
+
+Phase 2 — apply, shards ascending:
+  4. journal a single-page APPLIED marker on the shard;
+  [5] release the held commit: poke roots and descriptors (uncharged —
+      no crash window between 4 and 5);
+  6. run the held frees (charged; a crash here leaves the committed
+     batch-end image plus reclaimable residue).
+
+A crash anywhere before step 3 leaves every shard's image at
+batch-start (roots were never poked) — recovery rolls the batch back.
+A crash at or after step 3 finds a durable DECISION — recovery replays
+any shard whose APPLIED marker is missing from its journaled PREPARE
+record, idempotently, because an un-applied shard's image *is* the
+batch-start state.  See :mod:`repro.recovery.atomic`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, ContextManager, Sequence
+
+from repro.atomic.journal import IntentJournal
+from repro.core.errors import InvalidArgumentError
+from repro.core.payload import Payload
+from repro.exec.engine import BatchResult, HeldCommit
+from repro.exec.plan import OP_KINDS, MultiOp
+
+if TYPE_CHECKING:
+    from repro.core.api import LargeObjectStore
+    from repro.shard.router import ShardedStore
+
+
+class AtomicCoordinator:
+    """Drives prepared, decided, applied batches over a ShardedStore."""
+
+    def __init__(self, store: "ShardedStore", journal_pages: int) -> None:
+        self.store = store
+        #: Per-shard intent journals, reserved as each shard's first
+        #: meta allocation (deterministic page ids).
+        self.journals: tuple[IntentJournal, ...] = tuple(
+            IntentJournal.reserve(shard.env, journal_pages)
+            for shard in store.shards
+        )
+        #: Monotonic batch ids — deterministic, no wall clock.
+        self._batch_seq = 0
+
+    def _span(
+        self, shard_store: "LargeObjectStore", kind: str, **attrs: object
+    ) -> ContextManager[object]:
+        tracer = shard_store.env.tracer
+        if tracer is None:
+            return contextlib.nullcontext()
+        return tracer.span(kind, **attrs)
+
+    def submit_many(self, mops: Sequence[MultiOp]) -> BatchResult:
+        """Execute a cross-shard batch all-or-nothing.
+
+        Results and per-op costs are re-interleaved to submission order
+        exactly as the journal-less router path does; the extra charged
+        journal writes appear in the shard ledgers (and in per-op costs
+        they bracket nothing — they are protocol overhead, attributed
+        to the ``atomic.*`` spans under tracing).
+
+        On an injected crash the exception propagates with the store
+        halted mid-protocol; :func:`repro.recovery.atomic.recover_sharded_store`
+        restores atomicity from the disk images before further use.
+        """
+        store = self.store
+        for mop in mops:
+            if mop.op.kind not in OP_KINDS:
+                raise InvalidArgumentError(
+                    f"unknown batch op kind {mop.op.kind!r}; "
+                    f"expected one of {sorted(OP_KINDS)}"
+                )
+        groups: dict[int, tuple[list[int], list[MultiOp]]] = {}
+        for index, mop in enumerate(mops):
+            shard = mop.oid % store.n_shards
+            positions, local_mops = groups.setdefault(shard, ([], []))
+            positions.append(index)
+            local_mops.append(MultiOp(mop.oid // store.n_shards, mop.op))
+        if not groups:
+            return BatchResult((), ())
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        participants = tuple(sorted(groups))
+        coordinator = participants[0]
+        results: list[Payload | None] = [None] * len(mops)
+        costs: list[float] = [0.0] * len(mops)
+        held: dict[int, HeldCommit] = {}
+        with store._batch_span(len(mops), len(groups)):
+            # Phase 1: prepare + held execution, shards ascending.
+            for shard in participants:
+                positions, local_mops = groups[shard]
+                shard_store = store.shards[shard]
+                engine = shard_store.env.exec
+                with self._span(
+                    shard_store, "atomic.prepare",
+                    shard=shard, batch=batch_id, ops=len(local_mops),
+                ):
+                    self.journals[shard].write_prepare(
+                        batch_id, coordinator, shard, participants,
+                        local_mops,
+                    )
+                    with engine.holding():
+                        outcome = shard_store.submit_multi(local_mops)
+                    held[shard] = engine.take_held()
+                for index, result, cost in zip(
+                    positions, outcome.results, outcome.op_costs_ms
+                ):
+                    results[index] = result
+                    costs[index] = cost
+            # The global commit point: one atomic single-page write.
+            coord_store = store.shards[coordinator]
+            with self._span(
+                coord_store, "atomic.commit",
+                shard=coordinator, batch=batch_id, phase="decision",
+            ):
+                self.journals[coordinator].write_decision(
+                    batch_id, participants
+                )
+            # Phase 2: apply, shards ascending.
+            for shard in participants:
+                shard_store = store.shards[shard]
+                with self._span(
+                    shard_store, "atomic.commit",
+                    shard=shard, batch=batch_id, phase="apply",
+                ):
+                    self.journals[shard].write_applied(batch_id, shard)
+                    shard_store.env.exec.apply_held(held[shard])
+        return BatchResult(tuple(results), tuple(costs))

@@ -287,6 +287,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--atomic",
+        action="append",
+        type=int,
+        default=[],
+        metavar="N",
+        help=(
+            "additionally time cross-shard multi-object batches over N "
+            "shards, once through the two-phase commit journal and once "
+            "on the plain path (repeatable; point names "
+            "atomic/SCHEME@shardsN+journal / +nojournal)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -342,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
             traced=args.spans,
             shard_counts=tuple(args.shards),
             jobs=args.jobs,
+            atomic_shards=tuple(args.atomic),
         )
         print(f"scale: {scale_name}")
         print(_format_points(points))

@@ -25,8 +25,10 @@ from typing import ContextManager
 from repro.core.api import LargeObjectStore
 from repro.core.config import PAPER_CONFIG, SystemConfig
 from repro.core.errors import InvalidArgumentError
+from repro.core.payload import zeros
 from repro.disk.iomodel import IOStats
-from repro.exec.plan import read_op
+from repro.exec.plan import BatchOp, MultiOp, read_op
+from repro.shard.router import ShardedStore
 from repro.experiments.common import (
     KB,
     Scale,
@@ -326,6 +328,87 @@ _MEASURES = {
     "random": measure_random,
 }
 
+#: Schemes timed by the atomic cross-shard points (the shadowing
+#: schemes — blockbased has no recovery story, so no atomic mode).
+ATOMIC_SCHEMES = ("esm", "starburst", "eos")
+
+
+def measure_atomic(
+    scheme: str,
+    scale: Scale,
+    shards: int = 4,
+    journal: bool = True,
+    traced: bool = False,
+) -> BenchPoint:
+    """Time cross-shard multi-object batches, journal on or off.
+
+    The point builds ``2 * shards`` objects hash-spread over the shards
+    (setup, untimed), then submits a deterministic stream of
+    replace-batches, each touching every object and therefore every
+    shard.  ``journal=True`` routes the batches through the two-phase
+    commit protocol (PREPARE / DECISION / APPLIED journal writes are
+    charged I/O); ``journal=False`` runs the same workload on the plain
+    non-atomic path.  The pair isolates exactly what all-or-nothing
+    semantics cost: the ``+journal`` / ``+nojournal`` points differ
+    only in the protocol's own writes.
+    """
+    mode = "journal" if journal else "nojournal"
+    name = f"atomic/{scheme}@shards{shards}+{mode}"
+    tracer = Tracer(meta={"point": name}) if traced else None
+    with _ambient(tracer):
+        store = ShardedStore(
+            scheme,
+            PAPER_CONFIG,
+            shards=shards,
+            leaf_pages=SETTING_PAGES,
+            threshold_pages=SETTING_PAGES,
+            record_data=False,
+            atomic=journal,
+        )
+        n_objects = 2 * shards
+        per_object = max(CHUNK_KB * KB, scale.object_bytes // n_objects)
+        chunk = CHUNK_KB * KB
+        with _phase(tracer, "bench.setup"):
+            oids = [store.create() for _ in range(n_objects)]
+            for oid in oids:
+                position = 0
+                while position < per_object:
+                    store.append(
+                        oid, zeros(min(chunk, per_object - position))
+                    )
+                    position += chunk
+        total_ops = (
+            scale.starburst_ops if scheme == "starburst" else scale.n_ops
+        )
+        n_batches = max(1, total_ops // n_objects)
+        span = per_object - MEAN_OP_BYTES
+        before = store.snapshot()
+        with _phase(tracer, "bench.measure"):
+            start = time.perf_counter()
+            for batch in range(n_batches):
+                store.submit_many([
+                    MultiOp(oid, BatchOp(
+                        "replace",
+                        offset=(batch * 7919 + i * 104729) % span,
+                        data=zeros(MEAN_OP_BYTES),
+                    ))
+                    for i, oid in enumerate(oids)
+                ])
+            wall = time.perf_counter() - start
+    delta = store.stats.delta(before)
+    return BenchPoint(
+        name=name,
+        wall_s=wall,
+        sim_s=store.elapsed_ms(before) / 1000.0,
+        io_calls=delta.io_calls,
+        pages=delta.pages_transferred,
+        pool_hit_rate=store.pool_stats.hit_rate,
+        spans=(
+            span_summary(tracer, PAPER_CONFIG) if tracer is not None else None
+        ),
+        shards=shards,
+    )
+
 
 def split_even(total: int, parts: int) -> list[int]:
     """Split ``total`` into ``parts`` near-equal pieces summing exactly.
@@ -438,6 +521,7 @@ def run_bench(
     traced: bool = False,
     shard_counts: "tuple[int, ...]" = (),
     jobs: int | None = None,
+    atomic_shards: "tuple[int, ...]" = (),
 ) -> list[BenchPoint]:
     """Time the standard grid; with ``repeat > 1`` keep each point's
     fastest run (wall-clock noise shrinks, simulated fields are identical
@@ -452,7 +536,13 @@ def run_bench(
 
     ``shard_counts`` additionally times the grid sharded N ways for each
     listed N (``--shards N``, names ``kind/scheme@shardsN``), fanned
-    across up to ``jobs`` worker processes per point."""
+    across up to ``jobs`` worker processes per point.
+
+    ``atomic_shards`` additionally times cross-shard multi-object
+    batches at each listed shard count, once through the two-phase
+    commit journal and once on the plain path (``--atomic N``, names
+    ``atomic/scheme@shardsN+journal`` / ``+nojournal``), so the
+    trajectory records exactly what all-or-nothing semantics cost."""
     points: list[BenchPoint] = []
     for kind, scheme in STANDARD_GRID:
         if only is not None and f"{kind}/{scheme}" not in only:
@@ -484,6 +574,24 @@ def run_bench(
                     kind, scheme, scale, shards, jobs=jobs, traced=True
                 ).spans
             points.append(best)
+    for shards in atomic_shards:
+        for scheme in ATOMIC_SCHEMES:
+            if only is not None and f"atomic/{scheme}" not in only:
+                continue
+            for journal in (True, False):
+                best = None
+                for _ in range(max(1, repeat)):
+                    candidate = measure_atomic(
+                        scheme, scale, shards, journal=journal
+                    )
+                    if best is None or candidate.wall_s < best.wall_s:
+                        best = candidate
+                assert best is not None
+                if traced:
+                    best.spans = measure_atomic(
+                        scheme, scale, shards, journal=journal, traced=True
+                    ).spans
+                points.append(best)
     return points
 
 

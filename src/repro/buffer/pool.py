@@ -361,6 +361,25 @@ class BufferPool:
         for page in range(start, start + n_pages):
             self.invalidate(page)
 
+    def reset(self) -> None:
+        """Drop every frame without writeback: reboot semantics.
+
+        Crash recovery restarts the pool from the disk image alone —
+        whatever was resident (including dirty frames that never made
+        it to disk) is lost, exactly as a power failure loses RAM.
+        Raises if any frame is still pinned: a pinned frame means an
+        operation is mid-flight and "rebooting" under it would be a
+        caller bug, not a crash simulation.
+        """
+        for page_id, frame in self._frames.items():
+            if frame.pin_count:
+                raise BufferPoolError(
+                    f"cannot reset pool with pinned page {page_id}"
+                )
+        self._frames.clear()
+        self._pinned = 0
+        self._san_pins.clear()
+
     def flush_page(self, page_id: int) -> None:
         """Write the page to disk now if it is resident and dirty."""
         frame = self._frames.get(page_id)

@@ -40,6 +40,11 @@ class FsckReport:
     leaked_meta_pages: list[int]
     #: Recorded pages whose content fails CRC verification.
     corrupt_pages: list[int] = dataclasses.field(default_factory=list)
+    #: Intent-journal pages still holding an *unresolved* batch record
+    #: (a PREPARE that was never applied or cleaned) — crash recovery
+    #: was needed but never ran.  Distinct from generic leaks: the pages
+    #: are deliberately reserved, but their content demands resolution.
+    journal_residue: list[int] = dataclasses.field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -50,6 +55,7 @@ class FsckReport:
             or self.leaked_data_pages
             or self.leaked_meta_pages
             or self.corrupt_pages
+            or self.journal_residue
         )
 
     def summary(self) -> str:
@@ -61,7 +67,8 @@ class FsckReport:
             f"{len(self.doubly_referenced)} double refs, "
             f"{len(self.leaked_data_pages)} leaked data pages, "
             f"{len(self.leaked_meta_pages)} leaked meta pages, "
-            f"{len(self.corrupt_pages)} corrupt pages"
+            f"{len(self.corrupt_pages)} corrupt pages, "
+            f"{len(self.journal_residue)} journal-residue pages"
         )
 
 
@@ -100,6 +107,7 @@ def object_page_runs(
 
 def check(
     managers_and_oids: list[tuple[LargeObjectManager, list[int]]],
+    journals: "list | None" = None,
 ) -> FsckReport:
     """Check consistency between objects and their shared environment.
 
@@ -108,6 +116,13 @@ def check(
     passed in) are *not* reported as leaks unless no caller could own
     them — only data-area leaks are exact; meta leaks are computed
     against the pages the given objects reference.
+
+    ``journals`` (any objects with ``pages()`` and ``residue_pages()``,
+    i.e. :class:`repro.atomic.journal.IntentJournal` instances sharing
+    the environment) makes the check journal-aware: the reserved journal
+    regions are excluded from the leak classes, and pages holding an
+    unresolved batch record are reported as the distinct
+    ``journal_residue`` class instead.
     """
     if not managers_and_oids:
         raise InvalidArgumentError("nothing to check")
@@ -141,14 +156,25 @@ def check(
             if not _is_allocated(allocator, page):
                 dangling.append((oid, page))
 
+    journal_pages: set[int] = set()
+    residue: set[int] = set()
+    for journal in journals or ():
+        journal_pages |= journal.pages()
+        residue |= set(journal.residue_pages())
+
     leaked_data = _allocated_not_referenced(env.areas.data, referenced_data)
-    leaked_meta = _allocated_not_referenced(env.areas.meta, referenced_meta)
+    leaked_meta = [
+        page
+        for page in _allocated_not_referenced(env.areas.meta, referenced_meta)
+        if page not in journal_pages
+    ]
     return FsckReport(
         dangling=sorted(dangling),
         doubly_referenced=sorted(double),
         leaked_data_pages=leaked_data,
         leaked_meta_pages=leaked_meta,
         corrupt_pages=env.disk.verify_checksums(),
+        journal_residue=sorted(residue),
     )
 
 
@@ -183,15 +209,74 @@ def check_after_workload(
     return check([(store.manager, [oid])])
 
 
+def check_atomic_sharded(
+    scheme: str,
+    *,
+    shards: int = 4,
+    n_batches: int = 6,
+    seed: int = 7,
+) -> list[FsckReport]:
+    """Run seeded cross-shard atomic batches, then fsck every shard.
+
+    Builds an atomic :class:`~repro.shard.router.ShardedStore` of the
+    given scheme, creates a few objects per shard, drives ``n_batches``
+    deterministic multi-object batches through the two-phase commit
+    path, and returns the journal-aware per-shard reports.  With no
+    crash in the workload every report is clean; leftover intent
+    records would surface as the ``journal_residue`` class.
+    """
+    import random
+
+    from repro.core.config import small_page_config
+    from repro.exec.plan import BatchOp, MultiOp
+    from repro.recovery.atomic import fsck_sharded_store
+    from repro.shard.router import ShardedStore
+
+    store = ShardedStore(
+        scheme, small_page_config(), shards=shards, atomic=True
+    )
+    rng = random.Random(seed)
+    page = store.config.page_size
+    oids = [
+        store.create(bytes((i * 37 + j) % 251 for j in range(3 * page + 19)))
+        for i in range(2 * shards)
+    ]
+    for _ in range(n_batches):
+        mops = []
+        for oid in rng.sample(oids, k=max(2, shards)):
+            size = store.size(oid)
+            kind = rng.choice(("append", "insert", "delete", "replace"))
+            blob = bytes(rng.randrange(251) for _ in range(rng.randrange(1, page)))
+            if kind == "append":
+                mops.append(MultiOp(oid, BatchOp("append", 0, 0, blob)))
+            elif kind == "insert":
+                mops.append(MultiOp(
+                    oid, BatchOp("insert", rng.randrange(size), 0, blob)
+                ))
+            elif kind == "delete" and size > 2:
+                nbytes = rng.randrange(1, min(size // 2, page))
+                mops.append(MultiOp(oid, BatchOp(
+                    "delete", rng.randrange(size - nbytes), nbytes, b""
+                )))
+            else:
+                span = min(len(blob), size - 1)
+                mops.append(MultiOp(oid, BatchOp(
+                    "replace", rng.randrange(size - span), 0, blob[:span]
+                )))
+        store.submit_many(mops)
+    return fsck_sharded_store(store)
+
+
 def cli_main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-experiments fsck``.
 
     Exit status is 0 when every checked scheme is clean and 2 when any
-    inconsistency (dangling/double/leaked pages) was detected.
+    inconsistency (dangling/double/leaked/journal-residue pages) was
+    detected.
     """
     import argparse
 
-    from repro.core.api import ALL_SCHEMES
+    from repro.core.api import ALL_SCHEMES, SCHEMES
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments fsck",
@@ -224,6 +309,13 @@ def cli_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="workload RNG seed (default 7)"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also drive cross-shard atomic batches on an N-shard store "
+        "and run the journal-aware per-shard check (default: off)",
+    )
     args = parser.parse_args(argv)
     schemes = ALL_SCHEMES if args.scheme == "all" else (args.scheme,)
     dirty = False
@@ -237,6 +329,21 @@ def cli_main(argv: list[str] | None = None) -> int:
         )
         print(f"{scheme}: {report.summary()}")  # repro-lint: disable=OBS001
         dirty = dirty or not report.clean
+    if args.shards > 0:
+        # The block-based baseline has no shadowing, hence no atomic
+        # batch story; the sharded pass covers the paper's schemes.
+        for scheme in schemes:
+            if scheme not in SCHEMES:
+                continue
+            reports = check_atomic_sharded(
+                scheme, shards=args.shards, seed=args.seed
+            )
+            for shard, report in enumerate(reports):
+                print(  # repro-lint: disable=OBS001
+                    f"{scheme}@shards{args.shards} shard{shard}: "
+                    f"{report.summary()}"
+                )
+                dirty = dirty or not report.clean
     return 2 if dirty else 0
 
 

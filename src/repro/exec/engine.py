@@ -87,6 +87,25 @@ class DescriptorHost(Protocol):
         """Bring the descriptor's disk image current (uncharged)."""
 
 
+class HeldCommit(NamedTuple):
+    """A batch's commit effects, captured instead of applied.
+
+    Two-phase commit (``repro.atomic``) must not let a shard's batch
+    become visible — or recycle any page the batch-start image still
+    references — before the coordinator's global decision.  Under the
+    engine's *hold* mode (:meth:`BatchEngine.holding`) the batch
+    boundary packages its pending root pokes, descriptor flushes, and
+    deferred frees into one of these instead of running them;
+    :meth:`BatchEngine.apply_held` releases them later, in the original
+    order (uncharged pokes first, charged frees after), exactly as a
+    normal commit would have.
+    """
+
+    roots: tuple[RootHost, ...]
+    descriptors: tuple[tuple[DescriptorHost, DescriptorPage], ...]
+    frees: tuple[tuple["BuddyAllocator", int, int], ...]
+
+
 class BatchResult(NamedTuple):
     """Outcome of one submitted batch.
 
@@ -115,6 +134,8 @@ class BatchEngine:
         ] = {}
         self._deferred_frees: list[tuple["BuddyAllocator", int, int]] = []
         self._frees_deferred = False
+        self._hold = False
+        self._held: HeldCommit | None = None
 
     # ------------------------------------------------------------------
     # Plan execution (used per op, inside or outside a batch)
@@ -198,7 +219,11 @@ class BatchEngine:
                 # already diverts charges; reuse its log for the per-op
                 # marks and leave folding to whoever installed it.
                 self._log = outer
-        if env.disk.fault_site is not None:
+        if env.disk.fault_site is not None or self._hold:
+            # Hold mode defers frees even with no fault armed: a held
+            # commit's old pages must stay allocated until the global
+            # decision, or a recycled page could be overwritten before
+            # rollback becomes impossible to need.
             self._frees_deferred = True
             env.areas.meta.free_sink = self._defer_free
             env.areas.data.free_sink = self._defer_free
@@ -212,6 +237,28 @@ class BatchEngine:
     def _commit(self) -> None:
         """Batch boundary: pokes, descriptor flushes, frees, accounting."""
         env = self.env
+        if self._hold:
+            # Two-phase commit's phase 1: capture the commit effects for
+            # a later apply_held instead of running them.  The charge
+            # journal is still folded below — the batch's I/O physically
+            # happened; only its *visibility* is held.
+            self._held = HeldCommit(
+                roots=tuple(self._pending_roots.values()),
+                descriptors=tuple(self._pending_descriptors.values()),
+                frees=tuple(self._deferred_frees),
+            )
+            self._pending_roots.clear()
+            self._pending_descriptors.clear()
+            self._deferred_frees = []
+            self._uninstall_free_sinks()
+            log = self._log
+            if log is not None and self._owns_log:
+                env.cost.clear_log()
+                log.commit_to(env.cost.stats)
+            self._log = None
+            self._owns_log = False
+            self.active = False
+            return
         # 1. Group commit: each distinct root/descriptor exactly once.
         #    These are uncharged pokes, so they cannot fire an injected
         #    crash — every crash point inside the batch precedes them.
@@ -273,6 +320,57 @@ class BatchEngine:
         self, allocator: "BuddyAllocator", page_id: int, n_pages: int
     ) -> None:
         self._deferred_frees.append((allocator, page_id, n_pages))
+
+    # ------------------------------------------------------------------
+    # Held commits (two-phase commit's phase 1 / phase 2 split)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def holding(self) -> Iterator[None]:
+        """Hold the commit effects of batches opened inside this block.
+
+        The batch still executes and charges normally, but its root
+        pokes, descriptor flushes, and frees are captured (see
+        :class:`HeldCommit`) rather than applied; collect them with
+        :meth:`take_held` and release with :meth:`apply_held` once the
+        global decision is durable.  Frees are force-deferred while
+        holding, fault injector armed or not.
+        """
+        if self._hold:
+            raise InvalidArgumentError("held batches do not nest")
+        if self.active:
+            raise InvalidArgumentError(
+                "cannot enter hold mode inside an open batch"
+            )
+        self._hold = True
+        self._held = None
+        try:
+            yield
+        finally:
+            self._hold = False
+
+    def take_held(self) -> HeldCommit:
+        """The captured commit of the batch run under :meth:`holding`."""
+        held = self._held
+        if held is None:
+            raise InvalidArgumentError("no held commit to take")
+        self._held = None
+        return held
+
+    def apply_held(self, held: HeldCommit) -> None:
+        """Release a held commit: pokes, flushes, then charged frees.
+
+        The uncharged pokes cannot fire an injected crash, so a caller
+        that writes its durability marker immediately before this call
+        leaves no crash window between the marker and visibility; a
+        crash during the trailing frees lands after the batch-end image
+        is already committed.
+        """
+        for tree in held.roots:
+            tree.commit_root()
+        for host, descriptor in held.descriptors:
+            host.flush_descriptor(descriptor)
+        for allocator, page_id, n_pages in held.frees:
+            allocator.free(page_id, n_pages)
 
     # ------------------------------------------------------------------
     # Flush-intent registration (managers call these from op brackets)

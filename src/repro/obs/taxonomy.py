@@ -39,6 +39,10 @@ OP_SPAN_KINDS: frozenset[str] = frozenset({
 #: ``shard.batch`` wraps the router's multi-shard batch split, and
 #: ``shard.setup`` / ``shard.measure`` are the per-shard phases of a
 #: replayed shard program (the sharded analogue of ``bench.*``).
+#: ``atomic.prepare`` wraps one shard's phase-1 work (PREPARE record +
+#: held execution), ``atomic.commit`` the decision write and each
+#: shard's phase-2 apply, and ``atomic.recover`` one shard's journal
+#: resolution after a crash (see :mod:`repro.atomic`).
 INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
     "segio.read",
     "segio.read_unaligned",
@@ -51,6 +55,9 @@ INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
     "shard.batch",
     "shard.setup",
     "shard.measure",
+    "atomic.prepare",
+    "atomic.commit",
+    "atomic.recover",
 })
 
 #: Every legal ``tracer.span(...)`` kind.

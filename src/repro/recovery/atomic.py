@@ -1,0 +1,389 @@
+"""Recovery for atomic cross-shard batches: journal-driven resolution.
+
+:mod:`repro.atomic.twophase` leaves the crash-time invariant; this
+module turns it into a usable store again.  Recovery works *from the
+disk image alone*: every shard's in-memory state — buffer pool frames,
+positional trees, long-field descriptors — is considered lost, exactly
+as a machine reboot loses RAM, and is rebuilt from raw page images
+before the journal is consulted.
+
+The per-shard decision table (``state`` is the shard's parsed
+:class:`~repro.atomic.journal.JournalState`; "decided" means the batch's
+DECISION record is durable on its coordinator shard):
+
+===========================  ========  ===================================
+journal state                decided?  resolution
+===========================  ========  ===================================
+blank / CLEAN / stale        —         ``none`` — no in-flight batch
+PREPARE + APPLIED            (yes)     ``already-applied`` — the image is
+                                       the batch-end state; reclaim any
+                                       free-time residue, write CLEAN
+PREPARE, no APPLIED          yes       ``replayed`` — re-execute the
+                                       journaled ops (idempotent: the
+                                       un-applied shard's image *is* the
+                                       batch-start state), write CLEAN
+PREPARE, no APPLIED          no        ``rolled-back`` — the image is
+                                       already the batch-start state
+                                       (roots were never poked); reclaim
+                                       the orphaned shadow pages, write
+                                       CLEAN
+===========================  ========  ===================================
+
+Reclamation is space reconciliation: after the objects are reloaded
+from the image, any allocated page that no object references — and that
+is not part of the reserved journal region — is an orphan of the
+crashed execution (shadow pages never committed, or old pages whose
+deferred free never ran) and is returned to its buddy area.
+
+Shards that needed replay or rollback are also recorded in a
+:class:`~repro.experiments.parallel.DegradationLog`, giving sweeps and
+operators a structured account of what recovery had to heal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import TYPE_CHECKING, ContextManager, Iterable
+
+from repro.atomic.journal import CLEAN, PREPARE, IntentJournal, JournalState
+from repro.buddy.area import DATA_AREA_BASE
+from repro.buddy.allocator import BuddyAllocator
+from repro.core.errors import InvalidArgumentError
+from repro.core.fsck import FsckReport, check, object_page_runs
+from repro.experiments.parallel import DegradationLog
+from repro.starburst.descriptor import LongFieldDescriptor
+from repro.starburst.manager import StarburstManager
+from repro.tree.backed import TreeBackedManager
+from repro.tree.node import IndexNode
+from repro.tree.tree import PositionalTree
+
+if TYPE_CHECKING:
+    from repro.core.api import LargeObjectStore
+    from repro.shard.router import ShardedStore
+
+__all__ = [
+    "RecoveryReport",
+    "ShardRecovery",
+    "fsck_sharded_store",
+    "recover_sharded_store",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRecovery:
+    """What recovery did on one shard."""
+
+    shard: int
+    #: "none", "already-applied", "replayed", or "rolled-back".
+    action: str
+    #: Batch id the resolution concerned (None for "none").
+    batch_id: int | None
+    #: Orphaned pages returned to the buddy areas by reconciliation.
+    reclaimed_pages: int
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """Aggregated outcome of :func:`recover_sharded_store`."""
+
+    shards: list[ShardRecovery] = dataclasses.field(default_factory=list)
+    log: DegradationLog = dataclasses.field(default_factory=DegradationLog)
+
+    @property
+    def touched(self) -> bool:
+        """True when any shard needed more than a no-op resolution."""
+        return any(s.action != "none" for s in self.shards)
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        parts = [
+            f"shard{s.shard}={s.action}"
+            + (f"(+{s.reclaimed_pages}p)" if s.reclaimed_pages else "")
+            for s in self.shards
+        ]
+        return "recover: " + " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Rebuilding in-memory object state from raw page images
+# ----------------------------------------------------------------------
+def _reload_tree(manager: TreeBackedManager, oid: int) -> PositionalTree:
+    """Reopen one positional tree from its on-disk root page.
+
+    The root deserializes uncharged (it is memory-resident with the
+    object descriptor, as in the per-op path); interior nodes below it
+    are materialized through the buffer pool — charged recovery reads —
+    so the reloaded tree supports the uncharged accounting walks
+    (``iter_extents(charged=False)``, ``_walk_nodes``) fsck relies on.
+    """
+    env = manager.env
+    tree = PositionalTree(
+        manager.config,
+        env.pool,
+        env.areas.meta,
+        data_base=DATA_AREA_BASE,
+        shadow=env.shadow,
+        leaf_alloc_pages=manager._leaf_alloc_pages,
+    )
+    tree.root_page_id = oid
+    root, total, rightmost_alloc = IndexNode.deserialize(
+        env.disk.peek_pages(oid, 1),
+        oid,
+        is_root=True,
+        data_base=DATA_AREA_BASE,
+        meta_base=env.areas.meta.base_page_id,
+        leaf_alloc_pages=tree.leaf_alloc_pages,
+    )
+    tree.total_bytes = total
+    tree.height = root.level
+    tree._nodes[oid] = root
+    _load_children(tree, root)
+    if rightmost_alloc:
+        # The root header records the rightmost segment's true
+        # allocation (it may carry untrimmed append slack that
+        # ``leaf_alloc_pages`` cannot recompute from used bytes alone);
+        # without the patch, reconciliation would reclaim live slack.
+        last = tree._rightmost_extent_uncharged()
+        if last is not None:
+            last.alloc_pages = rightmost_alloc
+    return tree
+
+
+def _load_children(tree: PositionalTree, node: IndexNode) -> None:
+    if node.is_leaf_parent:
+        return
+    for entry in node.entries:
+        _load_children(tree, tree._get_node(entry.ref))
+
+
+def _reload_shard_objects(shard_store: "LargeObjectStore") -> None:
+    """Rebuild every object's in-memory structure from the disk image."""
+    manager = shard_store.manager
+    if isinstance(manager, TreeBackedManager):
+        for oid in sorted(manager._objects):
+            manager._objects[oid] = _reload_tree(manager, oid)
+    elif isinstance(manager, StarburstManager):
+        env = manager.env
+        for oid in sorted(manager._fields):
+            image = env.disk.peek_pages(oid, 1)
+            manager._fields[oid] = LongFieldDescriptor.deserialize(
+                image, oid, manager.config, DATA_AREA_BASE
+            )
+    else:
+        raise InvalidArgumentError(
+            f"scheme {shard_store.scheme!r} has no atomic recovery story "
+            "(no shadowing means no rollback image)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Space reconciliation
+# ----------------------------------------------------------------------
+def _referenced_pages(shard_store: "LargeObjectStore") -> tuple[
+    set[int], set[int]
+]:
+    """(data pages, meta pages) the reloaded objects reference."""
+    manager = shard_store.manager
+    if isinstance(manager, TreeBackedManager):
+        oids: Iterable[int] = manager._objects
+    else:
+        assert isinstance(manager, StarburstManager)
+        oids = manager._fields
+    data: set[int] = set()
+    meta: set[int] = set()
+    for oid in sorted(oids):
+        data_runs, meta_runs = object_page_runs(manager, oid)
+        for start, count in data_runs:
+            data.update(range(start, start + count))
+        for start, count in meta_runs:
+            meta.update(range(start, start + count))
+    return data, meta
+
+
+def _reclaim_orphans(
+    allocator: BuddyAllocator, referenced: set[int], keep: frozenset[int]
+) -> int:
+    """Free every allocated page neither referenced nor in ``keep``.
+
+    Contiguous orphans are freed as one run (buddy partial free), in
+    ascending page order, so reclamation is deterministic.  Returns the
+    number of pages reclaimed.
+    """
+    orphans: list[int] = []
+    for index in range(allocator.space_count):
+        space = allocator._spaces[index]
+        base = allocator._data_base(index)
+        for offset in range(space.total_blocks):
+            page = base + offset
+            if (
+                space.is_block_allocated(offset)
+                and page not in referenced
+                and page not in keep
+            ):
+                orphans.append(page)
+    for start, count in _runs(orphans):
+        allocator.free(start, count)
+    return len(orphans)
+
+
+def _runs(pages: list[int]) -> list[tuple[int, int]]:
+    runs: list[tuple[int, int]] = []
+    for page in pages:
+        if runs and runs[-1][0] + runs[-1][1] == page:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((page, 1))
+    return runs
+
+
+def _recover_span(
+    shard_store: "LargeObjectStore", **attrs: object
+) -> ContextManager[object]:
+    tracer = shard_store.env.tracer
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span("atomic.recover", **attrs)
+
+
+# ----------------------------------------------------------------------
+# The recovery driver
+# ----------------------------------------------------------------------
+def recover_sharded_store(
+    store: "ShardedStore", *, log: DegradationLog | None = None
+) -> RecoveryReport:
+    """Restore batch atomicity on a crashed atomic sharded store.
+
+    Call after a crash fault interrupted :meth:`ShardedStore.submit_many`
+    (the store's disks are halted mid-protocol).  For every shard, in
+    ascending order: the fault site and halt latch are cleared, the
+    buffer pool is dropped (reboot semantics — dirty frames that never
+    reached disk are lost), the in-memory object structures are rebuilt
+    from raw page images, and the shard's journal is resolved per the
+    module decision table.  The store is fully usable afterwards, and
+    per-shard fsck (:func:`fsck_sharded_store`) comes back clean.
+
+    Safe to run on a healthy store: shards with no batch history
+    resolve to ``none`` and shards whose last batch completed resolve
+    to ``already-applied`` — no object state changes either way.
+    """
+    if store.coordinator is None:
+        raise InvalidArgumentError(
+            "recover_sharded_store needs an atomic store "
+            "(ShardedStore(atomic=True))"
+        )
+    report = RecoveryReport(log=log if log is not None else DegradationLog())
+    journals = store.coordinator.journals
+    states: list[JournalState] = []
+    for shard, shard_store in enumerate(store.shards):
+        disk = shard_store.env.disk
+        disk.clear_fault_site()
+        shard_store.env.pool.reset()
+        states.append(journals[shard].read_state())
+    for shard, shard_store in enumerate(store.shards):
+        state = states[shard]
+        journal = journals[shard]
+        prepare = state.prepare
+        in_flight = prepare is not None and prepare.kind == PREPARE
+        with _recover_span(
+            shard_store,
+            shard=shard,
+            batch=prepare.batch_id if in_flight and prepare else 0,
+        ):
+            _reload_shard_objects(shard_store)
+            if not in_flight:
+                reclaimed = _reconcile(shard_store, journal)
+                report.shards.append(
+                    ShardRecovery(shard, "none", None, reclaimed)
+                )
+                continue
+            assert prepare is not None
+            if state.applied is not None:
+                # Committed and released here; at worst the trailing
+                # frees were interrupted.  The image is the batch-end
+                # state — reconciliation reclaims any free-time residue.
+                reclaimed = _reconcile(shard_store, journal)
+                journal.write_clean(prepare.batch_id, shard)
+                report.shards.append(ShardRecovery(
+                    shard, "already-applied", prepare.batch_id, reclaimed
+                ))
+                continue
+            decision = journals[prepare.coordinator].read_decision(
+                prepare.batch_id
+            )
+            if decision is not None:
+                # Decided but never applied here: this shard's image is
+                # the batch-start state (its root pokes were held), so
+                # re-executing the journaled ops lands exactly the
+                # batch-end state.  Reconcile first: the crashed held
+                # execution's shadow pages are orphans.
+                reclaimed = _reconcile(shard_store, journal)
+                shard_store.submit_multi(list(prepare.mops))
+                journal.write_clean(prepare.batch_id, shard)
+                report.log.add(
+                    shard, f"shard{shard}", 1, "crash-recovery",
+                    f"batch {prepare.batch_id} decided but not applied; "
+                    f"replayed {len(prepare.mops)} journaled op(s)",
+                    "replayed",
+                )
+                report.shards.append(ShardRecovery(
+                    shard, "replayed", prepare.batch_id, reclaimed
+                ))
+                continue
+            # No durable decision: the batch globally never happened.
+            # The image is already the batch-start state; drop the
+            # orphaned shadow allocations and mark the area clean.
+            reclaimed = _reconcile(shard_store, journal)
+            journal.write_clean(prepare.batch_id, shard)
+            report.log.add(
+                shard, f"shard{shard}", 1, "crash-recovery",
+                f"batch {prepare.batch_id} prepared but undecided; "
+                f"rolled back ({reclaimed} orphaned page(s) reclaimed)",
+                "rolled-back",
+            )
+            report.shards.append(ShardRecovery(
+                shard, "rolled-back", prepare.batch_id, reclaimed
+            ))
+    return report
+
+
+def _reconcile(
+    shard_store: "LargeObjectStore", journal: IntentJournal
+) -> int:
+    """Free every allocated-but-unreferenced page outside the journal."""
+    data_refs, meta_refs = _referenced_pages(shard_store)
+    areas = shard_store.env.areas
+    reclaimed = _reclaim_orphans(areas.data, data_refs, frozenset())
+    reclaimed += _reclaim_orphans(areas.meta, meta_refs, journal.pages())
+    return reclaimed
+
+
+# ----------------------------------------------------------------------
+# Journal-aware fsck over every shard
+# ----------------------------------------------------------------------
+def fsck_sharded_store(store: "ShardedStore") -> list[FsckReport]:
+    """Per-shard consistency reports, journal-aware when atomic.
+
+    Each shard is checked against its own environment; on an atomic
+    store the shard's reserved journal region is excluded from the leak
+    classes and any unresolved record pages come back in the report's
+    ``journal_residue`` class instead.
+    """
+    reports: list[FsckReport] = []
+    for shard, shard_store in enumerate(store.shards):
+        manager = shard_store.manager
+        if isinstance(manager, TreeBackedManager):
+            oids = sorted(manager._objects)
+        elif isinstance(manager, StarburstManager):
+            oids = sorted(manager._fields)
+        else:
+            raise InvalidArgumentError(
+                f"scheme {shard_store.scheme!r} is not fsck-sharded-aware"
+            )
+        journals = (
+            [store.coordinator.journals[shard]]
+            if store.coordinator is not None
+            else None
+        )
+        reports.append(check([(manager, oids)], journals=journals))
+    return reports

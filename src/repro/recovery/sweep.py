@@ -387,7 +387,31 @@ def cli_main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="skip the torn-write variant of each crash point",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the cross-shard atomic sweep over N shards instead of "
+        "the single-store sweep (requires N >= 1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the cross-shard sweep (with --shards)",
+    )
+    parser.add_argument(
+        "--table",
+        default="",
+        help="write the cross-shard classification table (TSV) to this "
+        "path (with --shards)",
+    )
     args = parser.parse_args(argv)
+
+    if args.shards > 0:
+        from repro.recovery.shard_sweep import cli_main as shard_cli_main
+
+        return shard_cli_main(args)
 
     schemes = SWEEP_SCHEMES if args.scheme == "all" else (args.scheme,)
     ops = MUTATING_OPS if args.op == "all" else (args.op,)

@@ -30,7 +30,10 @@ interleaving — which is what makes the *parallel* program-replay path
 from __future__ import annotations
 
 import contextlib
-from typing import ContextManager, Iterator, Sequence
+from typing import TYPE_CHECKING, ContextManager, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from repro.atomic.twophase import AtomicCoordinator
 
 from repro.buffer.pool import PoolStats
 from repro.core.api import LargeObjectStore
@@ -40,6 +43,8 @@ from repro.core.payload import Payload
 from repro.disk.iomodel import IOStats
 from repro.exec.engine import BatchResult
 from repro.exec.plan import BatchOp, MultiOp
+from repro.faults.plan import FaultPlan
+from repro.shard.faults import ShardedFaultInjector
 
 
 class ShardedStore:
@@ -58,12 +63,23 @@ class ShardedStore:
         max_segment_pages: int | None = None,
         record_data: bool = True,
         shadowing: bool = True,
+        atomic: bool = False,
+        journal_pages: int = 8,
     ) -> None:
         """Create ``shards`` independent stores of the given scheme.
 
         All knobs are applied uniformly to every shard; each shard's
         environment resolves the ambient tracer independently (so a
         traced construction traces all shards into one trace).
+
+        ``atomic=True`` reserves a ``journal_pages``-page intent
+        journal in every shard's meta area (the first allocation, so
+        journal page ids are deterministic) and routes
+        :meth:`submit_many` through the two-phase commit protocol of
+        :mod:`repro.atomic` — cross-shard batches become all-or-nothing
+        under crashes, at the cost of the journal's charged writes.
+        The default leaves every code path, cost, and disk image
+        bit-identical to the journal-less store.
         """
         if shards < 1:
             raise InvalidArgumentError(
@@ -85,6 +101,14 @@ class ShardedStore:
             for _ in range(shards)
         )
         self._next_shard = 0
+        self.atomic = atomic
+        self.coordinator: "AtomicCoordinator | None" = None
+        if atomic:
+            # Imported lazily: repro.atomic imports the exec layer, and
+            # journal-less stores must not pay for (or depend on) it.
+            from repro.atomic.twophase import AtomicCoordinator
+
+            self.coordinator = AtomicCoordinator(self, journal_pages)
 
     # ------------------------------------------------------------------
     # Routing
@@ -176,16 +200,8 @@ class ShardedStore:
         store, local = self._route(oid)
         return store.submit_ops(local, ops)
 
-    def submit_many(self, mops: Sequence[MultiOp]) -> BatchResult:
-        """Execute a heterogeneous multi-object batch across shards.
-
-        The ops are split by shard — submission order preserved within
-        each shard — and each shard's sub-batch runs as one
-        ``submit_multi`` batch, in ascending shard order.  Results and
-        per-op costs are re-interleaved to submission order, so the
-        returned :class:`~repro.exec.engine.BatchResult` reads exactly
-        like a single-store submission.
-        """
+    def _submit_many_plain(self, mops: Sequence[MultiOp]) -> BatchResult:
+        """The journal-less multi-shard batch (each shard commits alone)."""
         groups: dict[int, tuple[list[int], list[MultiOp]]] = {}
         for index, mop in enumerate(mops):
             shard = mop.oid % self.n_shards
@@ -206,6 +222,54 @@ class ShardedStore:
                     results[index] = result
                     costs[index] = cost
         return BatchResult(tuple(results), tuple(costs))
+
+    def submit_many(self, mops: Sequence[MultiOp]) -> BatchResult:
+        """Execute a heterogeneous multi-object batch across shards.
+
+        The ops are split by shard — submission order preserved within
+        each shard — and each shard's sub-batch runs as one
+        ``submit_multi`` batch, in ascending shard order.  Results and
+        per-op costs are re-interleaved to submission order, so the
+        returned :class:`~repro.exec.engine.BatchResult` reads exactly
+        like a single-store submission.
+
+        On an atomic store the batch runs under the two-phase commit
+        protocol (:mod:`repro.atomic.twophase`) and is all-or-nothing
+        under crashes; otherwise each shard commits independently (a
+        mid-batch crash can leave earlier shards committed — the PR 8
+        containment-only guarantee).
+        """
+        if self.coordinator is not None:
+            return self.coordinator.submit_many(mops)
+        return self._submit_many_plain(mops)
+
+    # ------------------------------------------------------------------
+    # Per-shard fault installation
+    # ------------------------------------------------------------------
+    def fault_injector(
+        self,
+        plan: FaultPlan,
+        *,
+        shard: int | None = None,
+        plans: "dict[int, FaultPlan] | None" = None,
+    ) -> ShardedFaultInjector:
+        """Arm fault plans against individual shards' disks.
+
+        Fault schedules count *logical I/O calls of one disk*; before
+        this hook, targeting one shard of a sharded store meant hand
+        plumbing an injector into ``store.shards[k].env``, and a
+        schedule like ``every(5)`` could not be expressed against the
+        store at all (there is no store-wide I/O counter — each shard
+        counts its own calls).  This returns a context manager that
+        installs an independent injector per selected shard, so
+        schedules fire on that shard's own deterministic counters and
+        sibling shards' counters are never perturbed.
+
+        ``shard=k`` arms only shard ``k``; ``plans`` maps shard index
+        to a per-shard plan (overriding ``plan``); with neither, every
+        shard is armed with ``plan``.
+        """
+        return ShardedFaultInjector(self, plan, shard=shard, plans=plans)
 
     def _batch_span(self, ops: int, touched: int) -> ContextManager[object]:
         tracer = self.shards[0].env.tracer

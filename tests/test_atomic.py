@@ -1,0 +1,508 @@
+"""Cross-shard atomic batches (repro.atomic + repro.recovery.atomic).
+
+The subsystem's contract has four legs:
+
+1. **Journal codec** — records round-trip exactly; torn prefixes, bit
+   flips, and garbage all decode to ``None`` (never became durable).
+2. **Equivalence** — an atomic store returns the same batch results and
+   final object state as the plain router; only the journal's own
+   charged writes differ, and ``atomic=False`` touches nothing at all.
+3. **All-or-nothing** — crash any shard at any physical write point
+   (journal writes included) and, after image-only recovery, the whole
+   multi-object batch is present everywhere or absent everywhere, with
+   journal-aware fsck clean.
+4. **Accountability** — the ``atomic.*`` spans decompose a traced
+   batch's cost exactly, and fsck reports unresolved journal pages as
+   their own ``journal-residue`` class.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.atomic.journal import (
+    APPLIED,
+    CLEAN,
+    DECISION,
+    PREPARE,
+    decode_record,
+    encode_record,
+    self_coordinator,
+)
+from repro.core.config import small_page_config
+from repro.core.errors import ChecksumError, CrashError, InvalidArgumentError
+from repro.core.fsck import check, check_atomic_sharded
+from repro.exec.plan import BatchOp, MultiOp, append_op
+from repro.faults.plan import FaultPlan, at
+from repro.obs.runtime import installed
+from repro.obs.tracer import Tracer
+from repro.recovery.atomic import fsck_sharded_store, recover_sharded_store
+from repro.recovery.shard_sweep import sweep_scheme_shard
+from repro.shard.router import ShardedStore
+
+SCHEMES = ("esm", "starburst", "eos")
+
+_OPTIONS = {
+    "esm": {"leaf_pages": 2},
+    "starburst": {},
+    "eos": {"threshold_pages": 2},
+}
+
+
+def _pattern(n: int, salt: int = 0) -> bytes:
+    return bytes((i * 31 + salt * 97 + 5) % 251 for i in range(n))
+
+
+def _store(scheme: str, shards: int = 2, **kw: object) -> ShardedStore:
+    return ShardedStore(
+        scheme, small_page_config(), shards=shards,
+        **{**_OPTIONS[scheme], **kw},  # type: ignore[arg-type]
+    )
+
+
+def _batch(store: ShardedStore, oids: list[int]) -> list[MultiOp]:
+    page = store.config.page_size
+    mops = []
+    for i, oid in enumerate(oids):
+        kind = ("append", "insert", "replace", "delete")[i % 4]
+        if kind == "delete":
+            mops.append(MultiOp(oid, BatchOp("delete", 7, page // 2)))
+        else:
+            mops.append(MultiOp(oid, BatchOp(
+                kind, (i * 13) % page, 0, _pattern(page - 11, salt=i)
+            )))
+    return mops
+
+
+def _contents(store: ShardedStore, oids: list[int]) -> list[bytes]:
+    return [bytes(store.read(o, 0, store.size(o))) for o in oids]
+
+
+# ----------------------------------------------------------------------
+# 1. Journal codec
+# ----------------------------------------------------------------------
+class TestJournalCodec:
+    def _record(self) -> bytes:
+        mops = (
+            MultiOp(3, BatchOp("append", 0, 0, b"abc")),
+            MultiOp(1, BatchOp("read", 5, 9)),
+            MultiOp(7, BatchOp("replace", 2, 0, _pattern(300))),
+        )
+        return encode_record(PREPARE, 42, 0, 1, (0, 1, 3), mops)
+
+    def test_round_trip_preserves_everything(self):
+        record = decode_record(self._record())
+        assert record is not None
+        assert record.kind == PREPARE
+        assert record.batch_id == 42
+        assert record.coordinator == 0
+        assert record.shard == 1
+        assert record.participants == (0, 1, 3)
+        assert [m.oid for m in record.mops] == [3, 1, 7]
+        assert record.mops[0].op.data == b"abc"
+        assert bytes(record.mops[2].op.data) == _pattern(300)
+        assert record.kind_name == "PREPARE"
+
+    def test_markers_round_trip_without_payload(self):
+        for kind in (DECISION, APPLIED, CLEAN):
+            record = decode_record(encode_record(kind, 9, 2, 2))
+            assert record is not None and record.kind == kind
+            assert record.mops == ()
+
+    def test_torn_prefix_never_became_durable(self):
+        wire = self._record()
+        for cut in (0, 4, len(wire) // 2, len(wire) - 1):
+            assert decode_record(wire[:cut]) is None
+
+    def test_single_bit_flip_fails_the_crc(self):
+        wire = bytearray(self._record())
+        wire[len(wire) // 2] ^= 0x10
+        assert decode_record(bytes(wire)) is None
+
+    def test_garbage_and_blank_pages_decode_to_none(self):
+        assert decode_record(b"") is None
+        assert decode_record(b"\x00" * 512) is None
+        assert decode_record(b"NOPE" + b"\x01" * 60) is None
+
+    def test_coordinator_is_lowest_participant(self):
+        assert self_coordinator((4, 2, 7)) == 2
+        with pytest.raises(InvalidArgumentError):
+            self_coordinator(())
+
+    def test_oversized_record_is_rejected_with_guidance(self):
+        store = _store("eos", shards=1, atomic=True, journal_pages=4)
+        journal = store.coordinator.journals[0]
+        huge = [MultiOp(0, BatchOp("append", 0, 0, _pattern(4096)))]
+        with pytest.raises(InvalidArgumentError, match="journal_pages"):
+            journal.write_prepare(1, 0, 0, (0,), huge)
+
+    def test_journal_region_needs_minimum_pages(self):
+        with pytest.raises(InvalidArgumentError):
+            _store("eos", atomic=True, journal_pages=2)
+
+
+# ----------------------------------------------------------------------
+# 2. Equivalence with the plain router
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_atomic_batches_match_plain_results(scheme: str) -> None:
+    plain = _store(scheme, shards=3)
+    atomic = _store(scheme, shards=3, atomic=True)
+    page = plain.config.page_size
+    oids_p = [plain.create(_pattern(3 * page + 9, salt=i)) for i in range(6)]
+    # oids differ (the journal reservation shifts meta page ids); the
+    # i-th object of each store corresponds positionally.
+    oids_a = [atomic.create(_pattern(3 * page + 9, salt=i)) for i in range(6)]
+    for _ in range(3):
+        out_p = plain.submit_many(_batch(plain, oids_p))
+        out_a = atomic.submit_many(_batch(atomic, oids_a))
+        assert list(out_p.op_costs_ms) == list(out_a.op_costs_ms)
+        assert [
+            None if r is None else bytes(r) for r in out_p.results
+        ] == [None if r is None else bytes(r) for r in out_a.results]
+    assert _contents(plain, oids_p) == _contents(atomic, oids_a)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_journal_off_store_is_bit_identical_to_plain(scheme: str) -> None:
+    """``atomic=False`` (the default) perturbs nothing: counters, pool,
+    and the raw disk image all match a router built before the journal
+    existed."""
+    a = _store(scheme, shards=2)
+    b = _store(scheme, shards=2, atomic=False)
+    page = a.config.page_size
+    for store in (a, b):
+        oids = [store.create(_pattern(2 * page, salt=i)) for i in range(4)]
+        store.submit_many(_batch(store, oids))
+    for sa, sb in zip(a.shards, b.shards):
+        assert sa.stats.write_calls == sb.stats.write_calls
+        assert sa.stats.read_calls == sb.stats.read_calls
+        assert dict(sa.env.disk._pages) == dict(sb.env.disk._pages)
+
+
+def test_atomic_store_charges_journal_writes() -> None:
+    """The journal is not free: each participating shard pays PREPARE
+    and APPLIED, the coordinator additionally the DECISION page."""
+    page = small_page_config().page_size
+    deltas = {}
+    for label, atomic in (("plain", False), ("atomic", True)):
+        store = _store("eos", shards=2, atomic=atomic)
+        oids = [store.create(_pattern(page, salt=i)) for i in range(2)]
+        before = store.snapshot()
+        store.submit_many([
+            MultiOp(oid, append_op(_pattern(64, salt=9))) for oid in oids
+        ])
+        deltas[label] = store.stats.delta(before)
+    extra = deltas["atomic"].write_calls - deltas["plain"].write_calls
+    # 2 shards x (PREPARE + APPLIED) + 1 DECISION = 5 journal writes.
+    assert extra == 5
+
+
+def test_read_only_cross_shard_batch_stays_atomic() -> None:
+    store = _store("eos", shards=2, atomic=True)
+    page = store.config.page_size
+    oids = [store.create(_pattern(page + 3, salt=i)) for i in range(4)]
+    out = store.submit_many([
+        MultiOp(oid, BatchOp("read", 1, page // 2)) for oid in oids
+    ])
+    assert [bytes(r) for r in out.results if r is not None] == [
+        _pattern(page + 3, salt=i)[1 : 1 + page // 2] for i in range(4)
+    ]
+
+
+# ----------------------------------------------------------------------
+# 3. All-or-nothing under crashes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_exhaustive_cross_shard_sweep_is_clean(scheme: str) -> None:
+    """Every physical write point of every shard, crash and torn."""
+    for target in range(2):
+        report = sweep_scheme_shard(scheme, 2, target)
+        assert report.clean, "\n".join(
+            f.detail for f in report.failures
+        )
+        assert report.outcomes, "sweep verified nothing"
+        table = report.classification_table()
+        assert "batch-absent" in table
+
+
+def test_recovery_on_healthy_store_changes_nothing() -> None:
+    store = _store("eos", shards=3, atomic=True)
+    page = store.config.page_size
+    oids = [store.create(_pattern(page * 2, salt=i)) for i in range(6)]
+    store.submit_many(_batch(store, oids))
+    before = _contents(store, oids)
+    report = recover_sharded_store(store)
+    assert all(
+        s.action in ("none", "already-applied") for s in report.shards
+    )
+    assert _contents(store, oids) == before
+    assert all(r.clean for r in fsck_sharded_store(store))
+
+
+def test_crash_before_decision_rolls_the_batch_back() -> None:
+    """Crashing a participant's PREPARE write (its first journal write)
+    leaves the batch undecided: recovery must roll every shard back."""
+    store = _store("eos", shards=2, atomic=True)
+    page = store.config.page_size
+    oids = [store.create(_pattern(2 * page + 9, salt=i)) for i in range(4)]
+    pre = _contents(store, oids)
+    with store.fault_injector(FaultPlan(crash_writes=at(1)), shard=1):
+        with pytest.raises(CrashError):
+            store.submit_many(_batch(store, oids))
+    report = recover_sharded_store(store)
+    assert "rolled-back" in {s.action for s in report.shards} or all(
+        s.action == "none" for s in report.shards
+    )
+    assert _contents(store, oids) == pre
+    assert all(r.clean for r in fsck_sharded_store(store))
+    # The recovered store is fully live: the same batch now commits.
+    store.submit_many(_batch(store, oids))
+    assert all(r.clean for r in fsck_sharded_store(store))
+
+
+def test_recovery_requires_an_atomic_store() -> None:
+    store = _store("eos", shards=2)
+    with pytest.raises(InvalidArgumentError):
+        recover_sharded_store(store)
+
+
+# ----------------------------------------------------------------------
+# 3b. Seeded randomized schedules (crash / torn / bit-flip)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", (1, 2, 3, 4, 5, 6))
+def test_randomized_fault_schedules_preserve_atomicity(seed: int) -> None:
+    rng = random.Random(seed)
+    scheme = rng.choice(SCHEMES)
+    shards = rng.choice((2, 3))
+    store = _store(scheme, shards=shards, atomic=True)
+    page = store.config.page_size
+    oids = [
+        store.create(_pattern(2 * page + 7, salt=i))
+        for i in range(2 * shards)
+    ]
+    pre = _contents(store, oids)
+    mops = _batch(store, oids)
+    kind = rng.choice(("crash", "torn", "corruption"))
+    target = rng.randrange(shards)
+    point = rng.randrange(1, 12)
+    if kind == "crash":
+        plan = FaultPlan(crash_writes=at(point))
+    elif kind == "torn":
+        plan = FaultPlan(torn_writes=at(point))
+    else:
+        plan = FaultPlan(corruption=at(point), seed=seed)
+    crashed = False
+    detected = False
+    with store.fault_injector(plan, shard=target):
+        try:
+            store.submit_many(mops)
+        except CrashError:
+            crashed = True
+        except ChecksumError:
+            detected = True
+    if kind == "corruption":
+        # Silent bit flips must never surface as wrong data: either a
+        # read already raised, checksum verification still flags the
+        # page, or it was overwritten before anything consumed it — in
+        # which case every object reads back intact.
+        corrupt = [
+            p
+            for s in store.shards
+            for p in s.env.disk.verify_checksums()
+        ]
+        if not detected and not corrupt:
+            post_store = _store(scheme, shards=shards, atomic=True)
+            post_oids = [
+                post_store.create(_pattern(2 * page + 7, salt=i))
+                for i in range(2 * shards)
+            ]
+            post_store.submit_many(_batch(post_store, post_oids))
+            assert _contents(store, oids) == _contents(
+                post_store, post_oids
+            )
+        return
+    if crashed:
+        recover_sharded_store(store)
+    live = _contents(store, oids)
+    post_store = _store(scheme, shards=shards, atomic=True)
+    post_oids = [
+        post_store.create(_pattern(2 * page + 7, salt=i))
+        for i in range(2 * shards)
+    ]
+    post_store.submit_many(_batch(post_store, post_oids))
+    post = _contents(post_store, post_oids)
+    assert live == pre or live == post
+    assert all(r.clean for r in fsck_sharded_store(store))
+
+
+# ----------------------------------------------------------------------
+# 3c. Per-shard fault targeting (satellite: injector isolation)
+# ----------------------------------------------------------------------
+def test_per_shard_injector_leaves_siblings_unarmed() -> None:
+    store = _store("eos", shards=2, atomic=True)
+    page = store.config.page_size
+    oids = [store.create(_pattern(2 * page + 9, salt=i)) for i in range(4)]
+    only_shard0 = [
+        MultiOp(o, append_op(_pattern(32))) for o in oids if o % 2 == 0
+    ]
+    only_shard1 = [
+        MultiOp(o, append_op(_pattern(32))) for o in oids if o % 2 == 1
+    ]
+    with store.fault_injector(FaultPlan(crash_writes=at(1)), shard=1):
+        # Shard 0 writes freely — the armed plan counts only shard 1's.
+        store.submit_many(only_shard0)
+        with pytest.raises(CrashError):
+            store.submit_many(only_shard1)
+    recover_sharded_store(store)
+    assert all(r.clean for r in fsck_sharded_store(store))
+
+
+def test_per_shard_plans_validate_their_targets() -> None:
+    store = _store("eos", shards=2)
+    plan = FaultPlan(crash_writes=at(1))
+    with pytest.raises(InvalidArgumentError):
+        store.fault_injector(plan, shard=5)
+    with pytest.raises(InvalidArgumentError):
+        store.fault_injector(plan, shard=0, plans={1: plan})
+    with pytest.raises(InvalidArgumentError):
+        store.fault_injector(plan, plans={7: plan})
+
+
+# ----------------------------------------------------------------------
+# 4a. Traced cost decomposition
+# ----------------------------------------------------------------------
+def test_atomic_spans_decompose_batch_cost_exactly() -> None:
+    tracer = Tracer()
+    with installed(tracer):
+        store = _store("eos", shards=2, atomic=True)
+        page = store.config.page_size
+        oids = [store.create(_pattern(2 * page + 9, salt=i)) for i in range(4)]
+        before = store.snapshot()
+        store.submit_many(_batch(store, oids))
+        delta = store.stats.delta(before)
+    # The atomic.* spans sit directly under the router's shard.batch
+    # span and between them bracket every charged write of the batch.
+    spans = [
+        r for r in tracer.records
+        if r["t"] == "span" and str(r["kind"]).startswith("atomic.")
+    ]
+    assert {str(s["kind"]) for s in spans} == {
+        "atomic.prepare", "atomic.commit"
+    }
+    calls = sum(
+        int(s["read_calls"]) + int(s["write_calls"]) for s in spans
+    )
+    pages = sum(
+        int(s["pages_read"]) + int(s["pages_written"]) for s in spans
+    )
+    assert calls == delta.io_calls
+    assert pages == delta.pages_transferred
+
+
+def test_recovery_emits_atomic_recover_spans() -> None:
+    # The env binds its tracer at construction, so the whole scenario
+    # runs under the ambient tracer.
+    tracer = Tracer()
+    with installed(tracer):
+        store = _store("eos", shards=2, atomic=True)
+        page = store.config.page_size
+        oids = [
+            store.create(_pattern(2 * page + 9, salt=i)) for i in range(4)
+        ]
+        with store.fault_injector(FaultPlan(crash_writes=at(2)), shard=0):
+            with pytest.raises(CrashError):
+                store.submit_many(_batch(store, oids))
+        recover_sharded_store(store)
+    kinds = [
+        str(r["kind"]) for r in tracer.records if r["t"] == "span"
+    ]
+    assert kinds.count("atomic.recover") == 2
+
+
+# ----------------------------------------------------------------------
+# 4b. fsck: journal-residue classification
+# ----------------------------------------------------------------------
+def test_fsck_reports_unresolved_journal_as_residue() -> None:
+    store = _store("eos", shards=2, atomic=True)
+    page = store.config.page_size
+    oids = [store.create(_pattern(2 * page + 9, salt=i)) for i in range(4)]
+    # Crash shard 1 mid-execution: its PREPARE is durable, unresolved.
+    with store.fault_injector(FaultPlan(crash_writes=at(3)), shard=1):
+        with pytest.raises(CrashError):
+            store.submit_many(_batch(store, oids))
+    store.shards[1].env.disk.clear_fault_site()
+    store.shards[1].env.pool.reset()
+    reports = fsck_sharded_store(store)
+    dirty = reports[1]
+    assert not dirty.clean
+    assert dirty.journal_residue
+    assert "journal-residue" in dirty.summary()
+    # A resolved journal is not residue — and not a leak either.
+    recover_sharded_store(store)
+    reports = fsck_sharded_store(store)
+    assert all(r.clean for r in reports)
+    assert all(not r.journal_residue for r in reports)
+
+
+def test_fsck_without_journal_flags_region_as_leak() -> None:
+    """The journal pages are allocated meta: only a journal-aware check
+    may excuse them."""
+    store = _store("eos", shards=1, atomic=True)
+    oid = store.create(_pattern(64))
+    manager = store.shards[0].manager
+    aware = check(
+        [(manager, [store.local_oid(oid)])],
+        journals=[store.coordinator.journals[0]],
+    )
+    blind = check([(manager, [store.local_oid(oid)])])
+    assert aware.clean
+    assert not blind.clean
+    assert set(store.coordinator.journals[0].pages()) <= set(
+        blind.leaked_meta_pages
+    )
+
+
+def test_check_atomic_sharded_healthy_stores_are_clean() -> None:
+    for scheme in SCHEMES:
+        reports = check_atomic_sharded(scheme, shards=2, n_batches=2)
+        assert len(reports) == 2
+        assert all(r.clean for r in reports), scheme
+
+
+# ----------------------------------------------------------------------
+# 5. Journal state machine details
+# ----------------------------------------------------------------------
+def test_stale_markers_from_older_batches_are_ignored() -> None:
+    store = _store("eos", shards=1, atomic=True)
+    journal = store.coordinator.journals[0]
+    oid = store.create(_pattern(64))
+    store.submit_many([MultiOp(oid, append_op(_pattern(16)))])
+    state = journal.read_state()
+    assert state.resolved
+    assert state.applied is not None  # this batch's own marker
+    # A new PREPARE supersedes the old APPLIED marker: different batch
+    # id, so the marker no longer counts and the batch reads in-flight.
+    journal.write_prepare(999, 0, 0, (0,), (
+        MultiOp(0, BatchOp("append", 0, 0, b"x")),
+    ))
+    state = journal.read_state()
+    assert state.prepare is not None and state.prepare.batch_id == 999
+    assert state.applied is None
+    assert not state.resolved
+    assert journal.residue_pages()
+    journal.write_clean(999, 0)
+    assert journal.read_state().resolved
+    assert journal.residue_pages() == []
+
+
+def test_journal_region_geometry_is_deterministic() -> None:
+    a = _store("eos", shards=2, atomic=True)
+    b = _store("eos", shards=2, atomic=True)
+    for ja, jb in zip(a.coordinator.journals, b.coordinator.journals):
+        assert ja.base_page == jb.base_page
+        assert ja.pages() == jb.pages()
+        assert ja.applied_page in ja.pages()
+        assert ja.decision_page in ja.pages()
