@@ -9,6 +9,7 @@ Usage::
     repro-bench --compare A.json B.json  # per-point deltas, no run
     repro-bench --profile                # cProfile summary per point
     repro-bench --shards 4               # also time the grid 4-sharded
+    repro-bench --health                 # embed per-point health gauges
 
 The output number ``<n>`` defaults to one past the highest existing
 ``BENCH_*.json`` in the output directory (starting at 2, where the
@@ -43,8 +44,11 @@ from repro.experiments.common import resolve_scale
 #: name with its scale ("tiny/build/esm") so one document can hold the
 #: grid at several scales; version-1 documents used bare names.  Version
 #: 3 optionally adds a per-point "spans" phase summary (``--spans``);
-#: version-2 readers can still consume every other field unchanged.
-FORMAT_VERSION = 3
+#: version 4 optionally adds a per-point "health" gauge report
+#: (``--health``).  Older readers can still consume every other field
+#: unchanged — both additions are dropped entirely when their flag is
+#: off.
+FORMAT_VERSION = 4
 
 #: Oldest format whose point names are scale-qualified; baselines older
 #: than this cannot match any current point name.
@@ -319,6 +323,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "embed the uncharged repro.obs.health gauge report per "
+            "in-process point in the JSON (format 4); the probe runs "
+            "after each point's wall window, so timings are unaffected"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -356,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
             shard_counts=tuple(args.shards),
             jobs=args.jobs,
             atomic_shards=tuple(args.atomic),
+            health=args.health,
         )
         print(f"scale: {scale_name}")
         print(_format_points(points))

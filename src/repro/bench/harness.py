@@ -97,6 +97,13 @@ class BenchPoint:
     one core per shard achieves — while ``fanout_wall_s`` is the real
     elapsed time of the fan-out on *this* host, including process-pool
     overhead and any core contention.
+
+    ``health`` (bench JSON format 4, ``--health``) is the
+    :mod:`repro.obs.health` gauge report probed from the live store
+    *after* the wall-clock window closes.  The probe is ``@pure_read``
+    and fully uncharged, so every other field is bit-identical with the
+    flag on or off.  Points whose stores live in worker processes
+    (``--shards`` fan-outs) carry no health section.
     """
 
     name: str
@@ -108,11 +115,12 @@ class BenchPoint:
     spans: dict[str, object] | None = None
     shards: int | None = None
     fanout_wall_s: float | None = None
+    health: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready representation."""
         data = dataclasses.asdict(self)
-        for optional in ("spans", "shards", "fanout_wall_s"):
+        for optional in ("spans", "shards", "fanout_wall_s", "health"):
             if data[optional] is None:
                 del data[optional]
         return data
@@ -211,12 +219,25 @@ def span_summary(tracer: Tracer, config: SystemConfig) -> dict[str, object]:
     return dict(phases)
 
 
+def _probe_health(store: object) -> dict[str, object]:
+    """The health gauge report of a finished point's live store.
+
+    Imported lazily: the probe pulls :mod:`repro.obs.health`, which the
+    untimed default path never needs.  Probing is ``@pure_read`` — the
+    IOStats ledger is asserted unchanged by the probe's own contract.
+    """
+    from repro.obs.health import probe_any
+
+    return probe_any(store).to_dict()
+
+
 def _point(
     name: str,
     store: LargeObjectStore,
     wall_s: float,
     before: IOStats,
     tracer: Tracer | None = None,
+    health: bool = False,
 ) -> BenchPoint:
     delta = store.stats.delta(before)
     return BenchPoint(
@@ -231,6 +252,7 @@ def _point(
             if tracer is not None
             else None
         ),
+        health=_probe_health(store) if health else None,
     )
 
 
@@ -241,7 +263,11 @@ def _bench_store(scheme: str) -> LargeObjectStore:
 
 
 def measure_build(
-    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
+    scheme: str,
+    scale: Scale,
+    traced: bool = False,
+    batched: bool = True,
+    health: bool = False,
 ) -> BenchPoint:
     """Time building one object with fixed-size appends.
 
@@ -259,11 +285,15 @@ def measure_build(
             start = time.perf_counter()
             build(store, scale.object_bytes, CHUNK_KB * KB)
             wall = time.perf_counter() - start
-    return _point(f"build/{scheme}", store, wall, before, tracer)
+    return _point(f"build/{scheme}", store, wall, before, tracer, health)
 
 
 def measure_scan(
-    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
+    scheme: str,
+    scale: Scale,
+    traced: bool = False,
+    batched: bool = True,
+    health: bool = False,
 ) -> BenchPoint:
     """Time a full sequential scan of a prebuilt object (build untimed).
 
@@ -291,11 +321,15 @@ def measure_scan(
                     store.read(oid, position, min(chunk, size - position))
                     position += chunk
             wall = time.perf_counter() - start
-    return _point(f"scan/{scheme}", store, wall, before, tracer)
+    return _point(f"scan/{scheme}", store, wall, before, tracer, health)
 
 
 def measure_random(
-    scheme: str, scale: Scale, traced: bool = False, batched: bool = True
+    scheme: str,
+    scale: Scale,
+    traced: bool = False,
+    batched: bool = True,
+    health: bool = False,
 ) -> BenchPoint:
     """Time the 40/30/30 random-update mix on a prebuilt object."""
     build = build_object_batched if batched else build_object
@@ -319,7 +353,7 @@ def measure_random(
             else:
                 runner.run(n_ops, window=max(1, n_ops))
             wall = time.perf_counter() - start
-    return _point(f"random/{scheme}", store, wall, before, tracer)
+    return _point(f"random/{scheme}", store, wall, before, tracer, health)
 
 
 _MEASURES = {
@@ -339,6 +373,7 @@ def measure_atomic(
     shards: int = 4,
     journal: bool = True,
     traced: bool = False,
+    health: bool = False,
 ) -> BenchPoint:
     """Time cross-shard multi-object batches, journal on or off.
 
@@ -407,6 +442,7 @@ def measure_atomic(
             span_summary(tracer, PAPER_CONFIG) if tracer is not None else None
         ),
         shards=shards,
+        health=_probe_health(store) if health else None,
     )
 
 
@@ -522,6 +558,7 @@ def run_bench(
     shard_counts: "tuple[int, ...]" = (),
     jobs: int | None = None,
     atomic_shards: "tuple[int, ...]" = (),
+    health: bool = False,
 ) -> list[BenchPoint]:
     """Time the standard grid; with ``repeat > 1`` keep each point's
     fastest run (wall-clock noise shrinks, simulated fields are identical
@@ -542,7 +579,12 @@ def run_bench(
     batches at each listed shard count, once through the two-phase
     commit journal and once on the plain path (``--atomic N``, names
     ``atomic/scheme@shardsN+journal`` / ``+nojournal``), so the
-    trajectory records exactly what all-or-nothing semantics cost."""
+    trajectory records exactly what all-or-nothing semantics cost.
+
+    ``health`` attaches the uncharged post-measure gauge report to every
+    point whose store lives in this process (``--health``, bench JSON
+    format 4); the probe runs after each point's wall window closes, so
+    wall and simulated fields are unaffected."""
     points: list[BenchPoint] = []
     for kind, scheme in STANDARD_GRID:
         if only is not None and f"{kind}/{scheme}" not in only:
@@ -550,7 +592,7 @@ def run_bench(
         measure = _MEASURES[kind]
         best: BenchPoint | None = None
         for _ in range(max(1, repeat)):
-            candidate = measure(scheme, scale)
+            candidate = measure(scheme, scale, health=health)
             if best is None or candidate.wall_s < best.wall_s:
                 best = candidate
         assert best is not None
@@ -582,7 +624,7 @@ def run_bench(
                 best = None
                 for _ in range(max(1, repeat)):
                     candidate = measure_atomic(
-                        scheme, scale, shards, journal=journal
+                        scheme, scale, shards, journal=journal, health=health
                     )
                     if best is None or candidate.wall_s < best.wall_s:
                         best = candidate

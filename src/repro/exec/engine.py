@@ -233,6 +233,8 @@ class BatchEngine:
             self._abort()
             raise
         self._commit()
+        if env.sampler is not None:
+            env.sampler.tick()
 
     def _commit(self) -> None:
         """Batch boundary: pokes, descriptor flushes, frees, accounting."""
@@ -467,6 +469,8 @@ class BatchEngine:
         seek = config.seek_ms
         transfer = config.transfer_ms_per_page
         log = self._log
+        sampler = self.env.sampler
+        shard = self.env.shard_index
         for oid, op in mops:
             kind = op.kind
             if log is not None:
@@ -489,11 +493,12 @@ class BatchEngine:
                 manager.replace(oid, op.offset, op.data)
                 results.append(None)
             if log is not None:
-                costs.append(
-                    log.cost_ms_between(lo, log.mark(), seek, transfer)
-                )
+                op_cost = log.cost_ms_between(lo, log.mark(), seek, transfer)
             else:
-                costs.append(cost.elapsed_since(before))
+                op_cost = cost.elapsed_since(before)
+            costs.append(op_cost)
+            if sampler is not None:
+                sampler.record_op(kind, manager.scheme, shard, op_cost)
         return BatchResult(tuple(results), tuple(costs))
 
     def _dispatch(
@@ -509,6 +514,8 @@ class BatchEngine:
         seek = config.seek_ms
         transfer = config.transfer_ms_per_page
         log = self._log
+        sampler = self.env.sampler
+        shard = self.env.shard_index
         for op in ops:
             kind = op.kind
             if log is not None:
@@ -531,9 +538,10 @@ class BatchEngine:
                 manager.replace(oid, op.offset, op.data)
                 results.append(None)
             if log is not None:
-                costs.append(
-                    log.cost_ms_between(lo, log.mark(), seek, transfer)
-                )
+                op_cost = log.cost_ms_between(lo, log.mark(), seek, transfer)
             else:
-                costs.append(cost.elapsed_since(before))
+                op_cost = cost.elapsed_since(before)
+            costs.append(op_cost)
+            if sampler is not None:
+                sampler.record_op(kind, manager.scheme, shard, op_cost)
         return BatchResult(tuple(results), tuple(costs))

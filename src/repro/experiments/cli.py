@@ -131,6 +131,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--timeline",
+        metavar="PATH",
+        help=(
+            "record a repro.obs.timeline JSONL time series (per-op "
+            "latency histograms + periodic snapshots) to PATH (inspect "
+            "with repro-obs timeline)"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-every-ops",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --timeline, snapshot every K ops (default: 256)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         dest="list_only",
@@ -163,6 +179,18 @@ def main(argv: list[str] | None = None) -> int:
 
         tracer = Tracer(meta={"tool": "repro-experiments",
                               "experiments": names})
+    sampler = None
+    if args.timeline:
+        from repro.obs.timeline import DEFAULT_EVERY_OPS, TimelineSampler
+
+        sampler = TimelineSampler(
+            every_ops=(
+                DEFAULT_EVERY_OPS
+                if args.timeline_every_ops is None
+                else args.timeline_every_ops
+            ),
+            meta={"tool": "repro-experiments", "experiments": names},
+        )
     if args.jobs > 1:
         # Warm the memo caches from worker processes; the serial assembly
         # below then renders from cached results, bit-identically.
@@ -182,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
             timeout_s=args.timeout,
             log=log,
             tracer=tracer,
+            sampler=sampler,
         )
         if log.degraded:
             print(log.summary(), file=sys.stderr)
@@ -196,18 +225,35 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote {export_csv(name, args.csv)}")
             print()
 
-    if tracer is None:
-        render_all()
-    else:
-        from repro.obs.export import dump_trace
-        from repro.obs.runtime import installed
+    import contextlib
 
-        # The ambient tracer is picked up by every StorageEnvironment the
-        # serial pass builds; with --jobs the expensive points are already
-        # cached (and their worker traces absorbed above), so this only
-        # adds whatever the assembly itself computes.
-        with installed(tracer):
-            render_all()
+    with contextlib.ExitStack() as stack:
+        # Ambient tracer/sampler are picked up by every
+        # StorageEnvironment the serial pass builds; with --jobs the
+        # expensive points are already cached (and their worker
+        # traces/timelines absorbed above), so this only adds whatever
+        # the assembly itself computes.
+        if tracer is not None:
+            from repro.obs.runtime import installed
+
+            stack.enter_context(installed(tracer))
+        if sampler is not None:
+            from repro.obs.timeline import installed as sampler_installed
+
+            stack.enter_context(sampler_installed(sampler))
+        render_all()
+    if sampler is not None:
+        from repro.obs.timeline import dump_timeline
+
+        if tracer is not None:
+            with tracer.span("obs.timeline", samples=len(sampler.samples)):
+                dump_timeline(sampler, args.timeline)
+        else:
+            dump_timeline(sampler, args.timeline)
+        print(f"wrote timeline {args.timeline}")
+    if tracer is not None:
+        from repro.obs.export import dump_trace
+
         dump_trace(tracer, args.trace)
         print(f"wrote trace {args.trace}")
     return 0

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import functools
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
@@ -51,7 +52,9 @@ from repro.experiments import (
 )
 from repro.experiments.common import Scale, resolve_scale
 from repro.experiments.grid import GridPoint, full_grid
+from repro.obs import timeline as obs_timeline
 from repro.obs.runtime import installed
+from repro.obs.timeline import TimelineSampler
 from repro.obs.tracer import Tracer
 
 
@@ -104,6 +107,35 @@ def compute_point_traced(point: GridPoint) -> tuple[Any, dict[str, object]]:
     with installed(tracer):
         result = compute_point(point)
     return result, tracer.capture_state()
+
+
+def compute_point_instrumented(
+    point: GridPoint,
+    *,
+    traced: bool,
+    every_ops: int | None,
+    every_sim_ms: float | None,
+) -> tuple[Any, dict[str, object] | None, dict[str, object]]:
+    """Compute one grid point under a private sampler (and tracer).
+
+    The timeline analogue of :func:`compute_point_traced`: returns
+    ``(result, trace_state_or_None, sampler_state)``; both states are
+    picklable and absorbed by the parent in grid order, so the merged
+    timeline (like the merged trace) is independent of worker count.
+    """
+    sampler = TimelineSampler(
+        every_ops=every_ops, every_sim_ms=every_sim_ms
+    )
+    trace_state: dict[str, object] | None = None
+    with obs_timeline.installed(sampler):
+        if traced:
+            tracer = Tracer(meta={"point": _point_label(point)})
+            with installed(tracer):
+                result = compute_point(point)
+            trace_state = tracer.capture_state()
+        else:
+            result = compute_point(point)
+    return result, trace_state, sampler.capture_state()
 
 
 #: Times a failed point is re-fanned to workers before serial fallback.
@@ -332,6 +364,7 @@ def precompute(
     timeout_s: float | None = None,
     log: DegradationLog | None = None,
     tracer: Tracer | None = None,
+    sampler: TimelineSampler | None = None,
 ) -> int:
     """Fan the selected experiments' grids out and warm the memo caches.
 
@@ -343,15 +376,16 @@ def precompute(
 
     With a ``tracer``, every worker computes its point under a private
     tracer and the captured per-point traces are absorbed here in grid
-    order — the merged trace is independent of ``jobs``.
+    order — the merged trace is independent of ``jobs``.  A ``sampler``
+    works the same way for timelines (alone or combined with a tracer).
     """
     scale = scale or resolve_scale()
     points = full_grid(names, scale)
-    if tracer is None:
+    if tracer is None and sampler is None:
         results = run_grid(
             points, jobs=jobs, retries=retries, timeout_s=timeout_s, log=log
         )
-    else:
+    elif sampler is None:
         pairs = run_grid(
             points,
             jobs=jobs,
@@ -363,6 +397,27 @@ def precompute(
         results = []
         for result, state in pairs:
             tracer.absorb(state)
+            results.append(result)
+    else:
+        compute = functools.partial(
+            compute_point_instrumented,
+            traced=tracer is not None,
+            every_ops=sampler.every_ops,
+            every_sim_ms=sampler.every_sim_ms,
+        )
+        triples = run_grid(
+            points,
+            jobs=jobs,
+            retries=retries,
+            timeout_s=timeout_s,
+            compute=compute,
+            log=log,
+        )
+        results = []
+        for result, trace_state, sample_state in triples:
+            if trace_state is not None:
+                tracer.absorb(trace_state)  # type: ignore[union-attr]
+            sampler.absorb(sample_state)
             results.append(result)
     prime_results(points, results)
     return len(points)

@@ -908,6 +908,102 @@ class ChargeCompletenessRule(FlowRule):
 
 
 # ----------------------------------------------------------------------
+# CHG002: metric-name registration
+# ----------------------------------------------------------------------
+_METRIC_EMITTERS = frozenset({"inc", "set_gauge", "observe"})
+
+#: Files whose metric emissions the rule audits: the health probe and
+#: the timeline sampler, i.e. the producers of the documented metric
+#: catalogue.  (``MetricsRegistry`` itself re-emits already-validated
+#: names from merge/deserialize paths and is deliberately out of scope.)
+_METRIC_FILES = frozenset({"health.py", "timeline.py"})
+
+
+@register
+class MetricRegistrationRule(FlowRule):
+    """CHG002: every emitted health/timeline metric name is registered.
+
+    The health probe and timeline sampler publish a documented metric
+    catalogue (:data:`repro.obs.taxonomy.METRIC_NAMES` plus the
+    :data:`~repro.obs.taxonomy.METRIC_FAMILY_PREFIXES` families); an
+    ``inc``/``set_gauge``/``observe`` call minting a name outside it
+    would silently desynchronize dashboards, the bench ``--health``
+    section, and the docs.  Constant names must be known exactly;
+    f-string names must have a constant leading fragment compatible
+    with a registered family or exact name.
+    """
+
+    rule_id = "CHG002"
+    summary = (
+        "health/timeline metric names passed to inc()/set_gauge()/"
+        "observe() must be registered in the repro.obs metric taxonomy"
+    )
+
+    def check(self, program: Program) -> Iterator[Violation]:
+        try:
+            from repro.obs.taxonomy import (
+                is_known_metric,
+                is_known_metric_prefix,
+            )
+        except ImportError:  # pragma: no cover - taxonomy ships with repro
+            return
+        for info in program.functions.values():
+            ctx = info.ctx
+            if ctx.layer != "obs" or ctx.path.name not in _METRIC_FILES:
+                continue
+            for call in program.iter_calls(info):
+                if not (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _METRIC_EMITTERS
+                    and call.args
+                ):
+                    continue
+                name_arg = call.args[0]
+                if isinstance(name_arg, ast.Constant) and isinstance(
+                    name_arg.value, str
+                ):
+                    if not is_known_metric(name_arg.value):
+                        yield self.violation(
+                            ctx,
+                            call,
+                            call.lineno,
+                            f"metric name {name_arg.value!r} is not "
+                            "registered in the repro.obs metric taxonomy "
+                            "(METRIC_NAMES / METRIC_FAMILY_PREFIXES); "
+                            "register it or fix the name so the catalogue "
+                            "stays complete",
+                        )
+                elif isinstance(name_arg, ast.JoinedStr):
+                    prefix = self._leading_constant(name_arg)
+                    if not is_known_metric_prefix(prefix):
+                        yield self.violation(
+                            ctx,
+                            call,
+                            call.lineno,
+                            f"f-string metric name starting {prefix!r} "
+                            "matches no registered metric family or exact "
+                            "name in the repro.obs metric taxonomy; "
+                            "register the family or fix the prefix",
+                        )
+                # Plain-variable names are re-emissions of names already
+                # validated at their original constant/f-string site
+                # (merge, absorb, deserialize) — not audited here.
+
+    @staticmethod
+    def _leading_constant(node: ast.JoinedStr) -> str:
+        """The constant fragment before the first interpolation."""
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            else:
+                break
+        return "".join(parts)
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def analyze_program(

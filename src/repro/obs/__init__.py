@@ -8,10 +8,20 @@ deterministic metrics registry the parallel runner can aggregate across
 workers.  Traces export as JSONL and are inspected with the ``repro-obs``
 CLI (``summary`` / ``diff`` / ``flame`` / ``validate``).
 
-Tracing is strictly observational: with no tracer installed the
-instrumented layers pay one ``is not None`` check per site, and with one
-installed the recorded costs are read from the same ledgers the reports
-use — reports and counters are bit-identical either way.
+Two further observational subsystems build on the same machinery:
+
+* :mod:`repro.obs.health` — a ``@pure_read`` store-health probe that
+  computes fragmentation, layout, pool, journal, and shard-skew gauges
+  from in-memory ground truth (``repro-obs health``);
+* :mod:`repro.obs.timeline` — a deterministic time-series sampler over
+  per-op simulated costs with log-bucketed latency percentiles
+  (``repro-obs timeline``, ``repro-experiments --timeline``).
+
+Everything is strictly observational: with no tracer or sampler
+installed the instrumented layers pay one ``is not None`` check per
+site, and with one installed the recorded costs are read from the same
+ledgers the reports use — reports and counters are bit-identical either
+way.
 """
 
 from repro.obs.export import (
@@ -23,19 +33,68 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.runtime import current, installed, resolve_tracer, selfcheck_enabled
+from repro.obs.timeline import (
+    TIMELINE_FORMAT_VERSION,
+    TimelineDocument,
+    TimelineSampler,
+    detect_drift,
+    dump_timeline,
+    load_timeline,
+    resolve_sampler,
+    validate_timeline,
+)
 from repro.obs.tracer import Tracer
 
+#: Health-probe names resolved lazily (PEP 562): :mod:`repro.obs.health`
+#: imports the storage managers, which themselves import this package
+#: during bootstrap — an eager import here would be circular.
+_HEALTH_EXPORTS = frozenset({
+    "HEALTH_FORMAT_VERSION",
+    "HealthProbe",
+    "HealthReport",
+    "probe_any",
+    "probe_sharded_store",
+    "probe_store",
+})
+
+
+def __getattr__(name: str):
+    if name in _HEALTH_EXPORTS:
+        from repro.obs import health
+
+        return getattr(health, name)
+    # PEP 562 requires AttributeError here: getattr()/hasattr() fall
+    # back on it, and any other type would break import machinery.
+    raise AttributeError(  # repro-lint: disable=ERR001
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
+    "HEALTH_FORMAT_VERSION",
+    "TIMELINE_FORMAT_VERSION",
     "TRACE_FORMAT_VERSION",
-    "TraceDocument",
-    "Tracer",
+    "HealthProbe",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "TimelineDocument",
+    "TimelineSampler",
+    "TraceDocument",
+    "Tracer",
     "current",
+    "detect_drift",
+    "dump_timeline",
     "dump_trace",
     "installed",
+    "load_timeline",
     "load_trace",
+    "probe_any",
+    "probe_sharded_store",
+    "probe_store",
+    "resolve_sampler",
     "resolve_tracer",
     "selfcheck_enabled",
+    "validate_timeline",
     "validate_trace",
 ]

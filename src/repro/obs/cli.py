@@ -6,11 +6,22 @@ Usage::
     repro-obs diff OLD NEW [--json]      # per-span-kind cost deltas
     repro-obs flame TRACE [--out PATH]   # collapsed stacks for flamegraphs
     repro-obs validate TRACE             # schema check, non-zero on problems
+    repro-obs health [--scheme S]        # probe a deterministic store
+    repro-obs timeline FILE [--diff B]   # render/diff/drift-flag a timeline
+    repro-obs bench-history [--dir D]    # whole BENCH_*.json trajectory
 
 ``diff`` follows diff(1) conventions: exit 0 when the traces attribute
 cost identically, 1 when they differ.  ``flame`` output feeds directly
 into standard flamegraph tooling (``flamegraph.pl``, speedscope, or any
 collapsed-stack consumer); the sample value is simulated microseconds.
+
+``health`` builds a deterministic sharded store, exercises it with a
+fixed batch workload, and prints the :mod:`repro.obs.health` gauge
+report — every gauge cross-checked against allocator/pool ground truth
+as it is computed.  ``timeline`` renders a timeline JSONL file (see
+``repro-experiments --timeline``), diffs two of them, and flags
+cost-per-op drift.  ``bench-history`` reads the committed BENCH_*.json
+trajectory and flags step-wise regressions and improvements.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.errors import TraceError
+from repro.core.errors import InvalidArgumentError, TraceError
 
 from repro.obs.export import load_trace, validate_trace
 from repro.obs.summarize import (
@@ -29,6 +40,14 @@ from repro.obs.summarize import (
     render_diff,
     render_summary,
     summarize,
+)
+from repro.obs.taxonomy import is_known_metric
+from repro.obs.timeline import (
+    detect_drift,
+    load_timeline,
+    render_diff as render_timeline_diff,
+    render_summary as render_timeline_summary,
+    validate_timeline,
 )
 
 
@@ -80,6 +99,99 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Deterministic workout used by ``repro-obs health``: object count,
+#: object bytes, batches, and ops per batch.
+HEALTH_OBJECTS = 6
+HEALTH_OBJECT_BYTES = 24 * 1024
+HEALTH_BATCHES = 4
+HEALTH_OPS_PER_BATCH = 8
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    # Imported lazily: the health probe pulls the full storage stack,
+    # which the trace-only subcommands never need.
+    from repro.exec.plan import BatchOp, MultiOp
+    from repro.obs.health import probe_sharded_store
+    from repro.shard.router import ShardedStore
+
+    store = ShardedStore(
+        args.scheme, shards=args.shards, atomic=args.atomic
+    )
+    oids = [
+        store.create(b"\x5a" * HEALTH_OBJECT_BYTES)
+        for _ in range(HEALTH_OBJECTS)
+    ]
+    span = HEALTH_OBJECT_BYTES - 512
+    for batch in range(HEALTH_BATCHES):
+        mops = []
+        for i in range(HEALTH_OPS_PER_BATCH):
+            oid = oids[(batch + i) % len(oids)]
+            offset = (batch * 7919 + i * 104729) % span
+            mops.append(MultiOp(oid, BatchOp(
+                "replace", offset, data=b"\xa5" * 512
+            )))
+        store.submit_many(mops)
+    report = probe_sharded_store(store)
+    unknown = [
+        name
+        for bucket in (
+            report.to_metrics().counters, report.to_metrics().gauges
+        )
+        for name in bucket
+        if not is_known_metric(name)
+    ]
+    if unknown:
+        for name in unknown:
+            print(f"UNREGISTERED METRIC: {name}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    document = load_timeline(args.timeline)
+    problems = validate_timeline(document)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    if args.diff:
+        other = load_timeline(args.diff)
+        text = render_timeline_diff(document, other)
+        if not text:
+            print(
+                f"timelines identical: {args.timeline} == {args.diff}"
+            )
+            return 0
+        print(text)
+        return 1
+    print(render_timeline_summary(document))
+    drift = detect_drift(document, threshold=args.drift_threshold)
+    if drift is not None:
+        print(drift.render())
+        if args.fail_on_drift:
+            return 1
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.obs.history import collect_flags, load_history, render_history
+
+    documents = load_history(args.dir)
+    print(render_history(documents, factor=args.factor))
+    if args.strict:
+        regressions = [
+            flag for flag in collect_flags(documents, factor=args.factor)
+            if flag.kind == "regressed"
+        ]
+        if regressions:
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -126,10 +238,71 @@ def main(argv: list[str] | None = None) -> int:
     validate.add_argument("trace", help="trace JSONL path")
     validate.set_defaults(func=_cmd_validate)
 
+    health = subparsers.add_parser(
+        "health",
+        help="exercise a deterministic store and print its gauge report",
+    )
+    health.add_argument(
+        "--scheme",
+        choices=("esm", "starburst", "eos", "blockbased"),
+        default="eos",
+        help="storage scheme to probe (default: eos)",
+    )
+    health.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count for the probed store (default: 2)",
+    )
+    health.add_argument(
+        "--atomic", action="store_true",
+        help="reserve intent journals (adds journal-residue gauges)",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    health.set_defaults(func=_cmd_health)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="render a timeline JSONL file, diff two, or flag drift",
+    )
+    timeline.add_argument("timeline", help="timeline JSONL path")
+    timeline.add_argument(
+        "--diff", metavar="OTHER",
+        help="compare against another timeline (exit 1 when they differ)",
+    )
+    timeline.add_argument(
+        "--drift-threshold", type=float, default=1.5, metavar="X",
+        help="cost/op ratio (late vs early half) that flags drift "
+        "(default: 1.5)",
+    )
+    timeline.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit 1 when drift is flagged",
+    )
+    timeline.set_defaults(func=_cmd_timeline)
+
+    bench_history = subparsers.add_parser(
+        "bench-history",
+        help="per-point wall-clock across every committed BENCH_*.json",
+    )
+    bench_history.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding BENCH_*.json files (default: .)",
+    )
+    bench_history.add_argument(
+        "--factor", type=float, default=1.5, metavar="X",
+        help="step-wise ratio that flags a point (default: 1.5)",
+    )
+    bench_history.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any step regressed past the factor",
+    )
+    bench_history.set_defaults(func=_cmd_bench_history)
+
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
-    except (TraceError, OSError) as exc:
+    except (TraceError, InvalidArgumentError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

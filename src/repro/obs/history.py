@@ -1,0 +1,188 @@
+"""Bench-trajectory comparison: the committed BENCH_*.json files as a
+time series.
+
+``repro-bench --compare`` is pairwise; this module reads the *whole*
+committed trajectory (BENCH_2 → BENCH_3 → … → BENCH_<n>) and renders a
+per-point table of wall-clock across bench numbers, flagging step-wise
+regressions and improvements.  Stdlib-only on purpose: the bench
+package imports ``repro.obs`` for its span summaries, so the history
+reader must not import it back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import json
+import os
+import re
+
+#: Step-wise wall-clock ratio beyond which a point is flagged.
+DEFAULT_FLAG_FACTOR = 1.5
+
+#: Points faster than this on both sides of a step are never flagged —
+#: sub-5ms timings are noise-dominated.
+MIN_FLAG_WALL_S = 0.005
+
+
+@dataclasses.dataclass(frozen=True)
+class HistoryFlag:
+    """One flagged step in the trajectory."""
+
+    point: str
+    from_bench: int
+    to_bench: int
+    from_wall_s: float
+    to_wall_s: float
+    #: "regressed", "improved", or "sim-changed".
+    kind: str
+
+    def render(self) -> str:
+        if self.kind == "sim-changed":
+            return (
+                f"{self.point}: simulated time changed between "
+                f"BENCH_{self.from_bench} and BENCH_{self.to_bench} "
+                "(behaviour, not noise)"
+            )
+        ratio = (
+            self.to_wall_s / self.from_wall_s
+            if self.from_wall_s > 0 else float("inf")
+        )
+        return (
+            f"{self.point}: {self.kind} {ratio:.2f}x between "
+            f"BENCH_{self.from_bench} ({self.from_wall_s:.4f}s) and "
+            f"BENCH_{self.to_bench} ({self.to_wall_s:.4f}s)"
+        )
+
+
+def load_history(directory: str = ".") -> list[tuple[int, dict]]:
+    """Every readable BENCH_<n>.json in ``directory``, by number."""
+    documents: list[tuple[int, dict]] = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if not match:
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        documents.append((int(match.group(1)), document))
+    documents.sort(key=lambda item: item[0])
+    return documents
+
+
+def _point_map(document: dict) -> dict[str, dict]:
+    points = document.get("points") or []
+    return {
+        str(p["name"]): p
+        for p in points
+        if isinstance(p, dict) and p.get("name") is not None
+    }
+
+
+def _wall(point: dict) -> float | None:
+    try:
+        return float(point["wall_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _sim(point: dict) -> float | None:
+    try:
+        return float(point["sim_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def collect_flags(
+    documents: list[tuple[int, dict]],
+    factor: float = DEFAULT_FLAG_FACTOR,
+    min_wall_s: float = MIN_FLAG_WALL_S,
+) -> list[HistoryFlag]:
+    """Step-wise regressions/improvements across consecutive benches.
+
+    A step compares each point against the *previous bench that has
+    it*, so points absent from one intermediate bench still chart.
+    Simulated-time changes are always flagged (they are behaviour, not
+    host noise); wall-clock steps are flagged only past ``factor`` and
+    only when either side exceeds ``min_wall_s``.
+    """
+    flags: list[HistoryFlag] = []
+    last_seen: dict[str, tuple[int, dict]] = {}
+    for number, document in documents:
+        for name, point in _point_map(document).items():
+            previous = last_seen.get(name)
+            last_seen[name] = (number, point)
+            if previous is None:
+                continue
+            prev_number, prev_point = previous
+            prev_sim, sim = _sim(prev_point), _sim(point)
+            if prev_sim is not None and sim is not None and prev_sim != sim:
+                flags.append(HistoryFlag(
+                    name, prev_number, number, 0.0, 0.0, "sim-changed"
+                ))
+            prev_wall, wall = _wall(prev_point), _wall(point)
+            if prev_wall is None or wall is None:
+                continue
+            if prev_wall < min_wall_s and wall < min_wall_s:
+                continue
+            if prev_wall > 0 and wall > prev_wall * factor:
+                flags.append(HistoryFlag(
+                    name, prev_number, number, prev_wall, wall, "regressed"
+                ))
+            elif wall > 0 and prev_wall > wall * factor:
+                flags.append(HistoryFlag(
+                    name, prev_number, number, prev_wall, wall, "improved"
+                ))
+    return flags
+
+
+def render_history(
+    documents: list[tuple[int, dict]],
+    factor: float = DEFAULT_FLAG_FACTOR,
+    min_wall_s: float = MIN_FLAG_WALL_S,
+) -> str:
+    """Per-point wall-clock table across the trajectory, plus flags.
+
+    Cells are wall seconds; ``-`` marks a bench without that point and
+    ``?`` a malformed record.  Flagged steps are listed below the
+    table, worst first within each category.
+    """
+    if not documents:
+        return "no BENCH_*.json files found"
+    numbers = [number for number, _ in documents]
+    maps = [_point_map(document) for _, document in documents]
+    names: list[str] = []
+    for point_map in maps:
+        for name in point_map:
+            if name not in names:
+                names.append(name)
+    width = max(9, max(len(f"BENCH_{n}") for n in numbers) + 1)
+    name_width = max([len(name) for name in names] + [5])
+    header = f"{'point':<{name_width}}" + "".join(
+        f" {f'BENCH_{n}':>{width}}" for n in numbers
+    )
+    lines = [header]
+    for name in names:
+        cells = []
+        for point_map in maps:
+            point = point_map.get(name)
+            if point is None:
+                cells.append(f" {'-':>{width}}")
+                continue
+            wall = _wall(point)
+            if wall is None:
+                cells.append(f" {'?':>{width}}")
+            else:
+                cells.append(f" {wall:>{width}.4f}")
+        lines.append(f"{name:<{name_width}}" + "".join(cells))
+    flags = collect_flags(documents, factor=factor, min_wall_s=min_wall_s)
+    if flags:
+        lines.append("")
+        lines.append(f"{len(flags)} flagged step(s):")
+        lines.extend(f"  {flag.render()}" for flag in flags)
+    else:
+        lines.append("")
+        lines.append("no flagged steps")
+    return "\n".join(lines)

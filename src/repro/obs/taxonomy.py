@@ -58,6 +58,8 @@ INTERIOR_SPAN_KINDS: frozenset[str] = frozenset({
     "atomic.prepare",
     "atomic.commit",
     "atomic.recover",
+    "obs.health",
+    "obs.timeline",
 })
 
 #: Every legal ``tracer.span(...)`` kind.
@@ -91,6 +93,44 @@ EVENT_KINDS: frozenset[str] = frozenset({
 ALL_KINDS: frozenset[str] = SPAN_KINDS | EVENT_KINDS
 
 
+#: Exact metric names the health probe and timeline sampler may emit.
+#: Names that carry a dynamic component (buddy area, op kind, scheme,
+#: shard index, free-extent order) instead belong to a family in
+#: :data:`METRIC_FAMILY_PREFIXES`; everything else must be listed here
+#: verbatim.  CHG002 (``repro.lint --flow``) rejects any
+#: ``inc``/``set_gauge``/``observe`` call in the health/timeline
+#: modules whose name is in neither set, so a typo cannot mint a
+#: metric the catalogue does not know about.
+METRIC_NAMES: frozenset[str] = frozenset({
+    "health.objects",
+    "health.bytes",
+    "health.probes",
+    "timeline.samples",
+    "timeline.ops",
+    "timeline.sim_ms",
+})
+
+#: Leading prefixes of metric families whose full names embed dynamic
+#: components.  ``health.<area>.*`` gauges carry the buddy area name,
+#: ``health.scheme.*`` / ``health.pool.*`` / ``health.journal.*`` /
+#: ``health.skew.*`` group the remaining gauges, ``latency.*``
+#: histograms are keyed ``latency.<op>.<scheme>.shard<N>``, and
+#: ``span.``/``io.``/``pool.`` are the tracer's own counter families.
+METRIC_FAMILY_PREFIXES: tuple[str, ...] = (
+    "health.data.",
+    "health.meta.",
+    "health.scheme.",
+    "health.pool.",
+    "health.journal.",
+    "health.skew.",
+    "health.shard.",
+    "latency.",
+    "span.",
+    "io.",
+    "pool.",
+)
+
+
 def is_known_span(kind: str) -> bool:
     """True when ``kind`` is a sanctioned span kind."""
     return kind in SPAN_KINDS
@@ -99,3 +139,24 @@ def is_known_span(kind: str) -> bool:
 def is_known_event(kind: str) -> bool:
     """True when ``kind`` is a sanctioned event kind."""
     return kind in EVENT_KINDS
+
+
+def is_known_metric(name: str) -> bool:
+    """True when ``name`` is a registered metric or family member."""
+    if name in METRIC_NAMES:
+        return True
+    return name.startswith(METRIC_FAMILY_PREFIXES)
+
+
+def is_known_metric_prefix(prefix: str) -> bool:
+    """True when a name *starting with* ``prefix`` could be legal.
+
+    Used by CHG002 on f-string metric names, where only the constant
+    leading fragment is statically known: the fragment is fine if it
+    extends (or is extended by) a registered family prefix, or is a
+    prefix of a registered exact name.
+    """
+    for family in METRIC_FAMILY_PREFIXES:
+        if prefix.startswith(family) or family.startswith(prefix):
+            return True
+    return any(name.startswith(prefix) for name in METRIC_NAMES)

@@ -72,7 +72,12 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class ShardRecovery:
-    """What recovery did on one shard."""
+    """What recovery did on one shard.
+
+    The last four fields are the shard's recovery telemetry: how much
+    work resolution cost, in deterministic units (sweeps fold them into
+    their classification tables).
+    """
 
     shard: int
     #: "none", "already-applied", "replayed", or "rolled-back".
@@ -81,6 +86,12 @@ class ShardRecovery:
     batch_id: int | None
     #: Orphaned pages returned to the buddy areas by reconciliation.
     reclaimed_pages: int
+    #: Contiguous orphan runs (buddy partial frees) the pages came in.
+    reclaimed_runs: int = 0
+    #: Allocated-block slots reconciliation examined across both areas.
+    pages_scanned: int = 0
+    #: Journaled ops re-executed (non-zero only for "replayed").
+    replayed_ops: int = 0
 
 
 @dataclasses.dataclass
@@ -203,17 +214,21 @@ def _referenced_pages(shard_store: "LargeObjectStore") -> tuple[
 
 def _reclaim_orphans(
     allocator: BuddyAllocator, referenced: set[int], keep: frozenset[int]
-) -> int:
+) -> tuple[int, int, int]:
     """Free every allocated page neither referenced nor in ``keep``.
 
     Contiguous orphans are freed as one run (buddy partial free), in
-    ascending page order, so reclamation is deterministic.  Returns the
-    number of pages reclaimed.
+    ascending page order, so reclamation is deterministic.  Returns
+    ``(pages reclaimed, runs freed, block slots scanned)`` — the last
+    two are recovery telemetry, counted whether or not anything was
+    orphaned.
     """
     orphans: list[int] = []
+    scanned = 0
     for index in range(allocator.space_count):
         space = allocator._spaces[index]
         base = allocator._data_base(index)
+        scanned += space.total_blocks
         for offset in range(space.total_blocks):
             page = base + offset
             if (
@@ -222,9 +237,10 @@ def _reclaim_orphans(
                 and page not in keep
             ):
                 orphans.append(page)
-    for start, count in _runs(orphans):
+    runs = _runs(orphans)
+    for start, count in runs:
         allocator.free(start, count)
-    return len(orphans)
+    return len(orphans), len(runs), scanned
 
 
 def _runs(pages: list[int]) -> list[tuple[int, int]]:
@@ -292,20 +308,22 @@ def recover_sharded_store(
         ):
             _reload_shard_objects(shard_store)
             if not in_flight:
-                reclaimed = _reconcile(shard_store, journal)
-                report.shards.append(
-                    ShardRecovery(shard, "none", None, reclaimed)
-                )
+                reclaimed, runs, scanned = _reconcile(shard_store, journal)
+                report.shards.append(ShardRecovery(
+                    shard, "none", None, reclaimed,
+                    reclaimed_runs=runs, pages_scanned=scanned,
+                ))
                 continue
             assert prepare is not None
             if state.applied is not None:
                 # Committed and released here; at worst the trailing
                 # frees were interrupted.  The image is the batch-end
                 # state — reconciliation reclaims any free-time residue.
-                reclaimed = _reconcile(shard_store, journal)
+                reclaimed, runs, scanned = _reconcile(shard_store, journal)
                 journal.write_clean(prepare.batch_id, shard)
                 report.shards.append(ShardRecovery(
-                    shard, "already-applied", prepare.batch_id, reclaimed
+                    shard, "already-applied", prepare.batch_id, reclaimed,
+                    reclaimed_runs=runs, pages_scanned=scanned,
                 ))
                 continue
             decision = journals[prepare.coordinator].read_decision(
@@ -317,7 +335,7 @@ def recover_sharded_store(
                 # re-executing the journaled ops lands exactly the
                 # batch-end state.  Reconcile first: the crashed held
                 # execution's shadow pages are orphans.
-                reclaimed = _reconcile(shard_store, journal)
+                reclaimed, runs, scanned = _reconcile(shard_store, journal)
                 shard_store.submit_multi(list(prepare.mops))
                 journal.write_clean(prepare.batch_id, shard)
                 report.log.add(
@@ -327,13 +345,15 @@ def recover_sharded_store(
                     "replayed",
                 )
                 report.shards.append(ShardRecovery(
-                    shard, "replayed", prepare.batch_id, reclaimed
+                    shard, "replayed", prepare.batch_id, reclaimed,
+                    reclaimed_runs=runs, pages_scanned=scanned,
+                    replayed_ops=len(prepare.mops),
                 ))
                 continue
             # No durable decision: the batch globally never happened.
             # The image is already the batch-start state; drop the
             # orphaned shadow allocations and mark the area clean.
-            reclaimed = _reconcile(shard_store, journal)
+            reclaimed, runs, scanned = _reconcile(shard_store, journal)
             journal.write_clean(prepare.batch_id, shard)
             report.log.add(
                 shard, f"shard{shard}", 1, "crash-recovery",
@@ -342,20 +362,29 @@ def recover_sharded_store(
                 "rolled-back",
             )
             report.shards.append(ShardRecovery(
-                shard, "rolled-back", prepare.batch_id, reclaimed
+                shard, "rolled-back", prepare.batch_id, reclaimed,
+                reclaimed_runs=runs, pages_scanned=scanned,
             ))
     return report
 
 
 def _reconcile(
     shard_store: "LargeObjectStore", journal: IntentJournal
-) -> int:
-    """Free every allocated-but-unreferenced page outside the journal."""
+) -> tuple[int, int, int]:
+    """Free every allocated-but-unreferenced page outside the journal.
+
+    Returns ``(pages reclaimed, runs freed, block slots scanned)``
+    summed over the data and meta areas.
+    """
     data_refs, meta_refs = _referenced_pages(shard_store)
     areas = shard_store.env.areas
-    reclaimed = _reclaim_orphans(areas.data, data_refs, frozenset())
-    reclaimed += _reclaim_orphans(areas.meta, meta_refs, journal.pages())
-    return reclaimed
+    pages, runs, scanned = _reclaim_orphans(
+        areas.data, data_refs, frozenset()
+    )
+    meta_pages, meta_runs, meta_scanned = _reclaim_orphans(
+        areas.meta, meta_refs, journal.pages()
+    )
+    return pages + meta_pages, runs + meta_runs, scanned + meta_scanned
 
 
 # ----------------------------------------------------------------------

@@ -91,6 +91,14 @@ class ShardCrashOutcome:
     outcome: str
     #: Recovery actions per shard, e.g. "rolled-back,none,none".
     recovery: str
+    #: Recovery telemetry, summed across shards (zero for transient
+    #: points, which never enter recovery): allocator block slots
+    #: reconciliation scanned, orphaned pages reclaimed, contiguous
+    #: free runs they formed, and journaled ops re-executed.
+    pages_scanned: int = 0
+    reclaimed_pages: int = 0
+    reclaimed_runs: int = 0
+    replayed_ops: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,17 +139,26 @@ class ShardSweepReport:
         self.log.events.extend(other.log.events)
 
     def classification_table(self) -> str:
-        """TSV classification of every point (the CI artifact)."""
-        lines = ["scheme\tshard\twrite\tkind\toutcome\trecovery"]
+        """TSV classification of every point (the CI artifact).
+
+        The last four columns are the point's recovery telemetry:
+        allocator block slots scanned, orphaned pages reclaimed, the
+        contiguous free runs they formed, and journaled ops replayed.
+        """
+        lines = [
+            "scheme\tshard\twrite\tkind\toutcome\trecovery\t"
+            "scanned\treclaimed\truns\treplayed"
+        ]
         for o in self.outcomes:
             lines.append(
                 f"{o.scheme}\t{o.shard}\t{o.crash_write}\t{o.kind}\t"
-                f"{o.outcome}\t{o.recovery}"
+                f"{o.outcome}\t{o.recovery}\t{o.pages_scanned}\t"
+                f"{o.reclaimed_pages}\t{o.reclaimed_runs}\t{o.replayed_ops}"
             )
         for f in self.failures:
             lines.append(
                 f"{f.scheme}\t{f.shard}\t{f.crash_write}\t{f.kind}\t"
-                f"FAILED\t{f.detail}"
+                f"FAILED\t{f.detail}\t-\t-\t-\t-"
             )
         return "\n".join(lines) + "\n"
 
@@ -314,6 +331,10 @@ def sweep_scheme_shard(
         # Recovered-state atomicity: the authoritative classification.
         recovery = recover_sharded_store(store, log=report.log)
         actions = ",".join(s.action for s in recovery.shards)
+        scanned = sum(s.pages_scanned for s in recovery.shards)
+        reclaimed = sum(s.reclaimed_pages for s in recovery.shards)
+        runs = sum(s.reclaimed_runs for s in recovery.shards)
+        replayed = sum(s.replayed_ops for s in recovery.shards)
         live = [bytes(store.read(o, 0, store.size(o))) for o in oids]
         if live == pre:
             outcome = "batch-absent"
@@ -341,7 +362,9 @@ def sweep_scheme_shard(
             ))
         else:
             report.outcomes.append(ShardCrashOutcome(
-                scheme, target, k, kind, outcome, actions
+                scheme, target, k, kind, outcome, actions,
+                pages_scanned=scanned, reclaimed_pages=reclaimed,
+                reclaimed_runs=runs, replayed_ops=replayed,
             ))
 
     # Transient pass: retryable write faults must not break the batch.

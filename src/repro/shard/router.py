@@ -100,6 +100,8 @@ class ShardedStore:
             )
             for _ in range(shards)
         )
+        for index, store in enumerate(self.shards):
+            store.env.shard_index = index
         self._next_shard = 0
         self.atomic = atomic
         self.coordinator: "AtomicCoordinator | None" = None

@@ -108,6 +108,8 @@ class WorkloadRunner:
         windows: list[WindowStats] = []
         current = WindowStats(ops_done=0)
         env = self.manager.env
+        sampler = env.sampler
+        scheme = self.manager.scheme
         for index, op in enumerate(self.generator.operations(n_ops), start=1):
             before = env.snapshot()
             if op.kind == READ:
@@ -131,11 +133,17 @@ class WorkloadRunner:
                 current.delete_ms_total += cost
                 if keep_op_costs:
                     current.delete_samples.append(cost)
+            else:
+                continue
+            if sampler is not None:
+                sampler.record_op(op.kind, scheme, env.shard_index, cost)
             if index % window == 0 or index == n_ops:
                 current.ops_done = index
                 current.utilization = self.manager.utilization(self.oid)
                 windows.append(current)
                 current = WindowStats(ops_done=0)
+                if sampler is not None:
+                    sampler.tick()
         return windows
 
     def run_batched(

@@ -1,0 +1,22 @@
+"""CHG002 corpus: health/timeline metrics outside the documented catalogue."""
+
+
+def unregistered_constant_name(metrics):
+    metrics.inc("health.objects")
+    metrics.inc("health.bogus_counter")  # seeded: CHG002
+
+
+def unregistered_fstring_family(metrics, shard):
+    metrics.observe(f"latency.read.esm.shard{shard}", 4.0)
+    metrics.observe(f"made_up.{shard}", 4.0)  # seeded: CHG002
+
+
+def registered_gauge_is_fine(metrics, scheme, value):
+    metrics.set_gauge("timeline.samples", value)
+    metrics.set_gauge(f"health.scheme.{scheme}.runs", value)
+
+
+def dynamic_names_are_out_of_scope(metrics, name, value):
+    # A fully dynamic name cannot be checked statically; the runtime
+    # registry validation covers it instead.
+    metrics.set_gauge(name, value)

@@ -226,6 +226,20 @@ def test_exhaustive_cross_shard_sweep_is_clean(scheme: str) -> None:
         assert report.outcomes, "sweep verified nothing"
         table = report.classification_table()
         assert "batch-absent" in table
+        # Recovery telemetry columns: every classified crash point
+        # carries the reconciliation scan size, and any point whose
+        # recovery string says "replayed" re-executed journaled ops.
+        header, *rows = table.strip().split("\n")
+        assert header.split("\t")[-4:] == [
+            "scanned", "reclaimed", "runs", "replayed"
+        ]
+        for row in rows:
+            fields = row.split("\t")
+            if fields[3] == "transient":
+                continue
+            assert int(fields[6]) > 0, "crash point scanned no blocks"
+            replayed = int(fields[9])
+            assert (replayed > 0) == ("replayed" in fields[5])
 
 
 def test_recovery_on_healthy_store_changes_nothing() -> None:

@@ -285,7 +285,7 @@ class TestSpans:
         ops = measure["ops"]
         assert ops and all(entry["count"] > 0 for entry in ops.values())
 
-    def test_spans_flag_writes_format_3(self, tmp_path, capsys):
+    def test_spans_flag_writes_current_format(self, tmp_path, capsys):
         out = tmp_path / "BENCH_X.json"
         assert bench_cli.main(
             ["--scale", "tiny", "--point", "build/esm", "--spans",
@@ -293,6 +293,6 @@ class TestSpans:
         ) == 0
         capsys.readouterr()
         document = json.loads(out.read_text())
-        assert document["version"] == 3
+        assert document["version"] == bench_cli.FORMAT_VERSION
         point = document["points"][0]
         assert point["spans"]["measure"]["pages"] == point["pages"]

@@ -708,6 +708,50 @@ class TestChargeCompleteness:
 
 
 # ----------------------------------------------------------------------
+# CHG002: metric-name registration
+# ----------------------------------------------------------------------
+class TestMetricRegistration:
+    def test_unregistered_constant_name_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/obs/health.py", """\
+            def f(metrics):
+                metrics.inc("health.bogus_counter")
+            """)
+        violations = flow(path)
+        assert rule_ids(violations) == ["CHG002"]
+        assert "taxonomy" in violations[0].message
+
+    def test_unregistered_fstring_prefix_flagged(self, tmp_path):
+        path = write(tmp_path, "repro/obs/timeline.py", """\
+            def f(metrics, shard):
+                metrics.observe(f"wrong.{shard}", 1.0)
+            """)
+        assert rule_ids(flow(path)) == ["CHG002"]
+
+    def test_registered_names_are_fine(self, tmp_path):
+        path = write(tmp_path, "repro/obs/health.py", """\
+            def f(metrics, scheme, shard):
+                metrics.inc("health.objects")
+                metrics.set_gauge(f"health.scheme.{scheme}.runs", 1.0)
+                metrics.observe(f"latency.read.esm.shard{shard}", 4.0)
+            """)
+        assert flow(path) == []
+
+    def test_dynamic_name_skipped(self, tmp_path):
+        path = write(tmp_path, "repro/obs/health.py", """\
+            def f(metrics, name):
+                metrics.inc(name)
+            """)
+        assert flow(path) == []
+
+    def test_other_layers_out_of_scope(self, tmp_path):
+        path = write(tmp_path, "repro/buddy/health.py", """\
+            def f(metrics):
+                metrics.inc("health.bogus_counter")
+            """)
+        assert flow(path) == []
+
+
+# ----------------------------------------------------------------------
 # FLOW000: suppression rationale
 # ----------------------------------------------------------------------
 class TestSuppressionRationale:
@@ -764,7 +808,7 @@ class TestCorpus:
         families = {rule for _, _, rule in self.seeded_expectations()}
         assert {
             "FLOW000", "FLOW001", "FLOW002", "DET001", "DET002", "DET003",
-            "CHG001",
+            "CHG001", "CHG002",
         } <= families
 
 
@@ -820,7 +864,9 @@ class TestCliAndSarif:
     def test_list_rules_includes_flow_families(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("FLOW001", "FLOW002", "DET001", "CHG001", "FLOW000"):
+        for rule_id in (
+            "FLOW001", "FLOW002", "DET001", "CHG001", "CHG002", "FLOW000",
+        ):
             assert rule_id in out
 
     def test_sarif_output_is_valid_and_anchored(self, tmp_path, capsys):
